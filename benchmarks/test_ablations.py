@@ -1,0 +1,40 @@
+"""Benchmarks: regenerate the paper's prose ablations.
+
+* Section 7.1.3 -- the CoLT-FA / CoLT-All L2 echo fill.
+* Section 4.1.4 -- the cache-line coalescing window.
+* Section 4.2.4 -- CoLT-FA's conservative 8-entry FA TLB vs 16 entries.
+"""
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_ablation_l2fill(benchmark, scale, runner, capsys):
+    result = run_and_print(
+        benchmark, get_experiment("abl_l2fill"), scale, runner, capsys
+    )
+    assert result.rows
+
+
+def test_ablation_window(benchmark, scale, runner, capsys):
+    result = run_and_print(
+        benchmark, get_experiment("abl_window"), scale, runner, capsys
+    )
+    # The cache-line window (8) must beat the half-line window (4) on
+    # average -- the paper's justification for the free line fetch.
+    assert result.average("fa_window_8") >= result.average("fa_window_4")
+
+
+def test_ablation_fasize(benchmark, scale, runner, capsys):
+    result = run_and_print(
+        benchmark, get_experiment("abl_fasize"), scale, runner, capsys
+    )
+    assert result.average("fa_16_entries") >= result.average("fa_8_entries")
+
+
+def test_ablation_futurework(benchmark, scale, runner, capsys):
+    result = run_and_print(
+        benchmark, get_experiment("abl_futurework"), scale, runner, capsys
+    )
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figures 10-12: contiguity CDFs, THS off + normal compaction.
+
+Prints the same rows the paper reports; see EXPERIMENTS.md for the
+committed paper-vs-measured comparison at default scale.
+"""
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_fig10_12(benchmark, scale, runner, capsys):
+    experiment = get_experiment("fig10_12")
+    result = run_and_print(benchmark, experiment, scale, runner, capsys)
+    assert result.rows

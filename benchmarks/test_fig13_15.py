@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figures 13-15: contiguity CDFs, THS off + low compaction.
+
+Prints the same rows the paper reports; see EXPERIMENTS.md for the
+committed paper-vs-measured comparison at default scale.
+"""
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_fig13_15(benchmark, scale, runner, capsys):
+    experiment = get_experiment("fig13_15")
+    result = run_and_print(benchmark, experiment, scale, runner, capsys)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 16: average contiguity vs memhog load, THS on.
+
+Prints the same rows the paper reports; see EXPERIMENTS.md for the
+committed paper-vs-measured comparison at default scale.
+"""
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_fig16(benchmark, scale, runner, capsys):
+    experiment = get_experiment("fig16")
+    result = run_and_print(benchmark, experiment, scale, runner, capsys)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 21: runtime improvements.
+
+Prints the same rows the paper reports; see EXPERIMENTS.md for the
+committed paper-vs-measured comparison at default scale.
+"""
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_fig21(benchmark, scale, runner, capsys):
+    experiment = get_experiment("fig21")
+    result = run_and_print(benchmark, experiment, scale, runner, capsys)
+    assert result.rows

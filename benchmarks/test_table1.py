@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1: baseline TLB MPMI with THS on and off.
+
+Prints the same rows the paper reports; see EXPERIMENTS.md for the
+committed paper-vs-measured comparison at default scale.
+"""
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_table1(benchmark, scale, runner, capsys):
+    experiment = get_experiment("table1")
+    result = run_and_print(benchmark, experiment, scale, runner, capsys)
+    assert result.rows

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Define a brand-new workload and evaluate CoLT on it.
+
+The library's workload layer is fully programmable: a benchmark is a set
+of memory regions (with their allocation behaviour) plus a mixture of
+access phases. This example models a simple in-memory key-value store --
+a large hash index allocated up front, a value log appended in small
+chunks, and a skewed key popularity -- and asks whether CoLT would help
+it.
+
+Run:
+    python examples/custom_benchmark.py
+"""
+
+from repro.core import CoLTDesign, CoreModel
+from repro.experiments import QUICK, simulation_config
+from repro.sim import ExperimentRunner
+from repro.workloads import BENCHMARKS, BenchmarkProfile, PhaseSpec, RegionSpec
+
+
+def build_kv_store_profile() -> BenchmarkProfile:
+    """A key-value store: hash index + append-only value log."""
+    return BenchmarkProfile(
+        name="kvstore",
+        suite="custom",
+        regions=(
+            # The index is one big malloc at startup: the buddy allocator
+            # will hand it large contiguous runs.
+            RegionSpec("index", 6000, populate=True, fault_batch=256),
+            # The value log grows in small appends: little contiguity.
+            RegionSpec("log", 3000, populate=True, fault_batch=4),
+        ),
+        phases=(
+            # Hash probes: uniform over the index, two accesses per probe.
+            PhaseSpec("random", "index", weight=0.30, accesses_per_page=2),
+            # Hot keys: 5% of the index takes most of the traffic.
+            PhaseSpec("zipf", "index", weight=0.45, accesses_per_page=4,
+                      hot_fraction=0.05, hot_weight=0.9),
+            # Log appends and compaction scans: sequential.
+            PhaseSpec("sequential", "log", weight=0.25, accesses_per_page=6),
+        ),
+        core=CoreModel(base_cpi=1.1, instructions_per_access=3.0),
+        description="Synthetic in-memory KV store (example workload).",
+    )
+
+
+def main() -> None:
+    profile = build_kv_store_profile()
+    # Register so the simulator can find it by name.
+    BENCHMARKS[profile.name] = profile
+
+    scale = QUICK.with_updates(accesses=40_000, benchmarks=("kvstore",))
+    runner = ExperimentRunner()
+    base_config = simulation_config("kvstore", scale)
+
+    results = runner.run_designs(base_config)
+    baseline = results[CoLTDesign.BASELINE]
+    print(f"kvstore: contiguity {baseline.average_contiguity:.1f} pages, "
+          f"{baseline.l2_misses} baseline L2 misses\n")
+    print(f"{'design':10s} {'L2 misses':>10s} {'vs baseline':>12s}")
+    for design, result in results.items():
+        delta = 100 * (1 - result.l2_misses / max(1, baseline.l2_misses))
+        print(f"{design.value:10s} {result.l2_misses:10d} {delta:+11.1f}%")
+
+    print(
+        "\nThe index's big startup malloc made it highly coalescible; the "
+        "log's 4-page appends less so. CoLT's benefit lands in between -- "
+        "run this with your own region/phase mix to evaluate a new "
+        "workload in minutes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments whose setuptools predates
+PEP 660 support.
+"""
+
+from setuptools import setup
+
+setup()

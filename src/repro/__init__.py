@@ -1,0 +1,49 @@
+"""repro: a full-system reproduction of CoLT (Coalesced Large-Reach TLBs).
+
+The package reimplements, in pure Python, the complete system evaluated in
+"CoLT: Coalesced Large-Reach TLBs" (Pham, Vaidyanathan, Jaleel,
+Bhattacharjee -- MICRO 2012):
+
+* an OS memory-management substrate (buddy allocator, memory compaction,
+  Transparent Hugepage Support, x86-64 page tables, demand faulting) that
+  *generates* page-allocation contiguity exactly the way Linux does;
+* a contiguity scanner reproducing the paper's kernel instrumentation;
+* a two-level TLB hierarchy (set-associative L1/L2 + fully-associative
+  superpage TLB), MMU caches, a three-level cache model and a page walker;
+* the paper's contribution: CoLT-SA, CoLT-FA and CoLT-All coalesced TLBs;
+* calibrated workload models for the 14 SPEC 2006 / BioBench benchmarks;
+* experiment harnesses regenerating every table and figure (Table 1,
+  Figures 7-21) plus the paper's ablations.
+
+Quickstart::
+
+    from repro.sim import SystemSimulator, SimulationConfig
+    sim = SystemSimulator(SimulationConfig(benchmark="mcf"))
+    result = sim.run()
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.common import (
+    ContiguityRun,
+    MemoryAccess,
+    PageAttributes,
+    Translation,
+)
+from repro.contiguity import ContiguityReport
+from repro.osmem import Kernel, KernelConfig, Memhog, Process, age_system
+
+__all__ = [
+    "ContiguityReport",
+    "ContiguityRun",
+    "Kernel",
+    "KernelConfig",
+    "Memhog",
+    "MemoryAccess",
+    "PageAttributes",
+    "Process",
+    "Translation",
+    "age_system",
+    "__version__",
+]

@@ -1,0 +1,120 @@
+"""Set-associative cache model.
+
+A deliberately simple hit/miss + latency model: the TLB study needs the
+*latency* of page-table-entry fetches (which determines the TLB miss
+penalty and hence the performance interpolation of Section 5.2.1), not a
+full coherence or bandwidth model. Caches are physically indexed and
+tagged, with true LRU per set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.constants import CACHE_LINE_SHIFT, CACHE_LINE_SIZE
+from repro.common.errors import ConfigurationError
+from repro.common.lru import LRUTracker
+from repro.common.statistics import CounterSet
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    line_size: int = CACHE_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.latency < 0:
+            raise ConfigurationError(f"invalid cache config {self}")
+        if self.size_bytes % (self.ways * self.line_size) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_size})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_size)
+
+
+class Cache:
+    """One set-associative cache level with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._num_sets = config.num_sets
+        self._sets: List[LRUTracker[int]] = [
+            LRUTracker(config.ways) for _ in range(self._num_sets)
+        ]
+        self.counters = CounterSet(["accesses", "hits", "misses", "evictions"])
+
+    def _line_address(self, paddr: int) -> int:
+        return paddr >> CACHE_LINE_SHIFT
+
+    def _set_index(self, line: int) -> int:
+        return line % self._num_sets
+
+    def lookup(self, paddr: int) -> bool:
+        """Probe without updating recency or filling. For diagnostics."""
+        line = self._line_address(paddr)
+        return line in self._sets[self._set_index(line)]
+
+    def access(self, paddr: int) -> bool:
+        """Access a byte address; returns True on hit.
+
+        A miss does *not* fill -- callers decide fill policy (the
+        hierarchy fills all levels on its way back down).
+        """
+        self.counters.increment("accesses")
+        line = self._line_address(paddr)
+        tracker = self._sets[self._set_index(line)]
+        if line in tracker:
+            tracker.touch(line)
+            self.counters.increment("hits")
+            return True
+        self.counters.increment("misses")
+        return False
+
+    def fill(self, paddr: int) -> Optional[int]:
+        """Install the line for ``paddr``; returns the evicted line or None."""
+        line = self._line_address(paddr)
+        tracker = self._sets[self._set_index(line)]
+        if line in tracker:
+            tracker.touch(line)
+            return None
+        victim = None
+        if tracker.is_full:
+            victim = tracker.evict()
+            self.counters.increment("evictions")
+        tracker.touch(line)
+        return victim
+
+    def invalidate(self, paddr: int) -> bool:
+        """Drop the line containing ``paddr`` if present."""
+        line = self._line_address(paddr)
+        tracker = self._sets[self._set_index(line)]
+        if line in tracker:
+            tracker.remove(line)
+            return True
+        return False
+
+    def evict_lru_of_set(self, set_index: int) -> Optional[int]:
+        """Evict the LRU line of one set (cache-pollution modelling)."""
+        tracker = self._sets[set_index % self._num_sets]
+        if len(tracker) == 0:
+            return None
+        self.counters.increment("evictions")
+        return tracker.evict()
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(t) for t in self._sets)

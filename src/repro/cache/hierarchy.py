@@ -1,0 +1,105 @@
+"""Three-level cache hierarchy sized like the paper's Intel Core i7.
+
+The hierarchy serves two access streams:
+
+* page-table entries: per the paper (Section 4.1.1, following Barr et
+  al.), "the LLC is the highest cache level for page table entries" --
+  PTE fetches probe the LLC directly and fall through to DRAM;
+* ordinary data: probes L1 -> L2 -> LLC -> DRAM. The TLB study does not
+  need per-datum results, but routing the workload's data stream through
+  the hierarchy keeps LLC contents (and therefore PTE-fetch latency)
+  realistic, since data lines compete with PTE lines for LLC capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.common.constants import (
+    DEFAULT_DRAM_LATENCY,
+    DEFAULT_L1_CACHE_BYTES,
+    DEFAULT_L1_CACHE_WAYS,
+    DEFAULT_L1_LATENCY,
+    DEFAULT_L2_CACHE_BYTES,
+    DEFAULT_L2_CACHE_WAYS,
+    DEFAULT_L2_LATENCY,
+    DEFAULT_LLC_BYTES,
+    DEFAULT_LLC_LATENCY,
+    DEFAULT_LLC_WAYS,
+)
+from repro.common.statistics import CounterSet
+from repro.cache.cache import Cache, CacheConfig
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes and latencies of the three levels plus DRAM."""
+
+    l1: CacheConfig = CacheConfig(
+        "l1d", DEFAULT_L1_CACHE_BYTES, DEFAULT_L1_CACHE_WAYS, DEFAULT_L1_LATENCY
+    )
+    l2: CacheConfig = CacheConfig(
+        "l2", DEFAULT_L2_CACHE_BYTES, DEFAULT_L2_CACHE_WAYS, DEFAULT_L2_LATENCY
+    )
+    llc: CacheConfig = CacheConfig(
+        "llc", DEFAULT_LLC_BYTES, DEFAULT_LLC_WAYS, DEFAULT_LLC_LATENCY
+    )
+    dram_latency: int = DEFAULT_DRAM_LATENCY
+
+
+class CacheHierarchy:
+    """L1/L2/LLC + DRAM with simple inclusive fills."""
+
+    def __init__(self, config: HierarchyConfig = HierarchyConfig()) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+        self.llc = Cache(config.llc)
+        self.counters = CounterSet(
+            ["data_accesses", "pte_accesses", "dram_accesses"]
+        )
+
+    # ------------------------------------------------------------------
+    # Page-table entry stream (LLC-only, per the paper).
+    # ------------------------------------------------------------------
+
+    def access_pte(self, paddr: int) -> int:
+        """Fetch a PTE line; returns the access latency in cycles."""
+        self.counters.increment("pte_accesses")
+        latency = self.config.llc.latency
+        if not self.llc.access(paddr):
+            latency += self.config.dram_latency
+            self.counters.increment("dram_accesses")
+            self.llc.fill(paddr)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Data stream.
+    # ------------------------------------------------------------------
+
+    def access_data(self, paddr: int) -> int:
+        """Load/store a data address; returns the access latency."""
+        self.counters.increment("data_accesses")
+        latency = self.config.l1.latency
+        if self.l1.access(paddr):
+            return latency
+        latency += self.config.l2.latency
+        if self.l2.access(paddr):
+            self.l1.fill(paddr)
+            return latency
+        latency += self.config.llc.latency
+        if self.llc.access(paddr):
+            self.l2.fill(paddr)
+            self.l1.fill(paddr)
+            return latency
+        latency += self.config.dram_latency
+        self.counters.increment("dram_accesses")
+        self.llc.fill(paddr)
+        self.l2.fill(paddr)
+        self.l1.fill(paddr)
+        return latency
+
+    def flush(self) -> None:
+        """Reset to cold caches (used between experiment phases)."""
+        self.__init__(self.config)

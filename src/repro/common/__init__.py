@@ -1,0 +1,85 @@
+"""Shared primitives: constants, value types, LRU, RNG, statistics, CDFs."""
+
+from repro.common.constants import (
+    CACHE_LINE_SIZE,
+    MAX_ORDER,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTES_PER_CACHE_LINE,
+    SUPERPAGE_PAGES,
+    SUPERPAGE_SIZE,
+)
+from repro.common.errors import (
+    AllocationError,
+    ConfigurationError,
+    ExperimentError,
+    OutOfMemoryError,
+    PageFaultError,
+    ReproError,
+    TranslationError,
+    WorkloadError,
+)
+from repro.common.lru import LRUTracker
+from repro.common.rng import SeedSequencer, derive_seed, make_rng
+from repro.common.statistics import (
+    CounterSet,
+    CounterSnapshot,
+    RunningStat,
+    misses_per_million,
+    percent_eliminated,
+    speedup_percent,
+)
+from repro.common.types import (
+    AccessType,
+    ContiguityRun,
+    LookupResult,
+    MemoryAccess,
+    PageAttributes,
+    Translation,
+    WalkResult,
+)
+from repro.common.cdfs import (
+    PAPER_CDF_POINTS,
+    WeightedCDF,
+    average_contiguity,
+    contiguity_cdf,
+)
+
+__all__ = [
+    "AccessType",
+    "AllocationError",
+    "CACHE_LINE_SIZE",
+    "ConfigurationError",
+    "ContiguityRun",
+    "CounterSet",
+    "CounterSnapshot",
+    "ExperimentError",
+    "LRUTracker",
+    "LookupResult",
+    "MAX_ORDER",
+    "MemoryAccess",
+    "OutOfMemoryError",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PAPER_CDF_POINTS",
+    "PTES_PER_CACHE_LINE",
+    "PageAttributes",
+    "PageFaultError",
+    "ReproError",
+    "RunningStat",
+    "SUPERPAGE_PAGES",
+    "SUPERPAGE_SIZE",
+    "SeedSequencer",
+    "Translation",
+    "TranslationError",
+    "WalkResult",
+    "WeightedCDF",
+    "WorkloadError",
+    "average_contiguity",
+    "contiguity_cdf",
+    "derive_seed",
+    "make_rng",
+    "misses_per_million",
+    "percent_eliminated",
+    "speedup_percent",
+]

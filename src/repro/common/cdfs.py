@@ -1,0 +1,113 @@
+"""Cumulative-distribution utilities for the contiguity studies.
+
+Figures 7-15 of the paper plot CDFs of page-allocation contiguity on a
+log-scaled x axis (1, 4, 16, 64, 256, 1024). This module provides a small
+weighted-CDF type plus helpers to evaluate it at the paper's tick points
+and to compute the per-benchmark average contiguity shown in the figure
+legends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+#: The x-axis tick points used by the paper's contiguity CDFs.
+PAPER_CDF_POINTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class WeightedCDF:
+    """A CDF over integer values with integer weights.
+
+    For contiguity, the value is the run length and the weight is the
+    number of pages in the run -- the paper's CDFs are over *pages*, i.e.
+    "what fraction of pages live in runs of length <= x".
+    """
+
+    support: Tuple[int, ...]
+    cumulative: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.support) != len(self.cumulative):
+            raise ValueError("support and cumulative lengths differ")
+        if list(self.support) != sorted(set(self.support)):
+            raise ValueError("support must be strictly increasing")
+        prev = 0.0
+        for c in self.cumulative:
+            if c < prev - 1e-12 or c > 1.0 + 1e-9:
+                raise ValueError("cumulative values must be nondecreasing in [0,1]")
+            prev = c
+
+    @classmethod
+    def from_weighted_values(
+        cls, pairs: Iterable[Tuple[int, float]]
+    ) -> "WeightedCDF":
+        """Build from (value, weight) pairs. Weights need not be sorted."""
+        totals: Dict[int, float] = {}
+        for value, weight in pairs:
+            if weight < 0:
+                raise ValueError("weights must be nonnegative")
+            if weight == 0:
+                continue
+            totals[value] = totals.get(value, 0.0) + weight
+        if not totals:
+            raise ValueError("cannot build a CDF from zero total weight")
+        support = tuple(sorted(totals))
+        grand_total = sum(totals.values())
+        cumulative: List[float] = []
+        running = 0.0
+        for value in support:
+            running += totals[value]
+            cumulative.append(running / grand_total)
+        return cls(support, tuple(cumulative))
+
+    def at(self, x: int) -> float:
+        """P(value <= x)."""
+        result = 0.0
+        for value, cum in zip(self.support, self.cumulative):
+            if value <= x:
+                result = cum
+            else:
+                break
+        return result
+
+    def evaluate(self, points: Sequence[int] = PAPER_CDF_POINTS) -> Dict[int, float]:
+        """Evaluate the CDF at each tick point (the paper's plot series)."""
+        return {p: self.at(p) for p in points}
+
+    def quantile(self, q: float) -> int:
+        """Smallest value v with P(value <= v) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        for value, cum in zip(self.support, self.cumulative):
+            if cum >= q - 1e-12:
+                return value
+        return self.support[-1]
+
+
+def average_contiguity(run_lengths: Iterable[int]) -> float:
+    """Page-weighted average contiguity, as in the figure legends.
+
+    Each page that belongs to an N-page run experiences contiguity N, so
+    the average over pages weights each run by its own length. This is the
+    quantity the paper reports ("on average, pages are in 41-contiguity
+    groupings").
+    """
+    total_pages = 0
+    weighted = 0
+    for length in run_lengths:
+        if length < 1:
+            raise ValueError("run lengths must be >= 1")
+        total_pages += length
+        weighted += length * length
+    if total_pages == 0:
+        return 0.0
+    return weighted / total_pages
+
+
+def contiguity_cdf(run_lengths: Iterable[int]) -> WeightedCDF:
+    """Page-weighted CDF of run lengths (the paper's Figures 7-15)."""
+    return WeightedCDF.from_weighted_values(
+        (length, float(length)) for length in run_lengths
+    )

@@ -1,0 +1,135 @@
+"""Architectural constants shared across the CoLT reproduction.
+
+All address arithmetic in the simulator is expressed in terms of these
+constants. They mirror the x86-64 platform assumed by the paper: 4KB base
+pages, 2MB superpages, 64-byte cache lines, and 8-byte page-table entries
+(so one cache line holds exactly eight PTEs -- the coalescing window of
+CoLT, Section 4.1.4 of the paper).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Page geometry (x86-64).
+# ---------------------------------------------------------------------------
+
+#: Size of a base page in bytes (4KB on x86-64).
+PAGE_SIZE = 4096
+
+#: log2 of the base page size; the number of page-offset bits.
+PAGE_SHIFT = 12
+
+#: Number of base pages backing one 2MB superpage (512 on x86-64).
+SUPERPAGE_PAGES = 512
+
+#: Size of a 2MB superpage in bytes.
+SUPERPAGE_SIZE = PAGE_SIZE * SUPERPAGE_PAGES
+
+#: log2 of the superpage size.
+SUPERPAGE_SHIFT = 21
+
+# ---------------------------------------------------------------------------
+# Page-table geometry (x86-64 4-level radix tree).
+# ---------------------------------------------------------------------------
+
+#: Bytes per page-table entry.
+PTE_SIZE = 8
+
+#: Number of entries per page-table node (one 4KB page of 8-byte PTEs).
+PTES_PER_TABLE = PAGE_SIZE // PTE_SIZE
+
+#: Number of radix levels in an x86-64 page table (PML4, PDPT, PD, PT).
+PAGE_TABLE_LEVELS = 4
+
+#: Bits of virtual page number consumed per radix level.
+BITS_PER_LEVEL = 9
+
+#: Number of virtual-address bits (canonical x86-64 uses 48).
+VIRTUAL_ADDRESS_BITS = 48
+
+#: Number of virtual-page-number bits (48 - 12).
+VPN_BITS = VIRTUAL_ADDRESS_BITS - PAGE_SHIFT
+
+# ---------------------------------------------------------------------------
+# Cache geometry.
+# ---------------------------------------------------------------------------
+
+#: Cache-line size in bytes, shared by all cache levels.
+CACHE_LINE_SIZE = 64
+
+#: log2 of the cache-line size.
+CACHE_LINE_SHIFT = 6
+
+#: Number of PTEs that share one cache line. A page walk that fetches the
+#: cache line containing a PTE therefore observes this many neighbouring
+#: translations "for free" -- the hard upper bound on CoLT coalescing
+#: (paper Section 4.1.4).
+PTES_PER_CACHE_LINE = CACHE_LINE_SIZE // PTE_SIZE
+
+# ---------------------------------------------------------------------------
+# Buddy-allocator geometry (Linux mm/page_alloc.c uses MAX_ORDER = 11).
+# ---------------------------------------------------------------------------
+
+#: Number of buddy free lists: orders 0..MAX_ORDER-1 track blocks of
+#: 2**order contiguous page frames.
+MAX_ORDER = 11
+
+#: Largest block the buddy allocator manages (2**10 = 1024 pages = 4MB).
+MAX_ORDER_PAGES = 1 << (MAX_ORDER - 1)
+
+# ---------------------------------------------------------------------------
+# Default hardware parameters (paper Section 5.2.1).
+# ---------------------------------------------------------------------------
+
+#: Simulated L1 TLB: 32 entries, 4-way set-associative.
+DEFAULT_L1_TLB_ENTRIES = 32
+DEFAULT_L1_TLB_WAYS = 4
+
+#: Simulated L2 TLB: 128 entries, 4-way set-associative.
+DEFAULT_L2_TLB_ENTRIES = 128
+DEFAULT_L2_TLB_WAYS = 4
+
+#: Baseline fully-associative superpage TLB: 16 entries.
+DEFAULT_SUPERPAGE_TLB_ENTRIES = 16
+
+#: CoLT-FA / CoLT-All conservatively halve the superpage TLB (Section 4.2.4).
+COLT_FA_TLB_ENTRIES = 8
+
+#: MMU page-walk cache entries (Section 5.2.1).
+DEFAULT_MMU_CACHE_ENTRIES = 22
+
+#: Cache hierarchy sized like an Intel Core i7 (Section 5.2.1).
+DEFAULT_L1_CACHE_BYTES = 32 * 1024
+DEFAULT_L2_CACHE_BYTES = 256 * 1024
+DEFAULT_LLC_BYTES = 4 * 1024 * 1024
+
+DEFAULT_L1_CACHE_WAYS = 8
+DEFAULT_L2_CACHE_WAYS = 8
+DEFAULT_LLC_WAYS = 16
+
+#: Access latencies in cycles (L1 / L2 / LLC / DRAM), typical of an i7.
+DEFAULT_L1_LATENCY = 4
+DEFAULT_L2_LATENCY = 12
+DEFAULT_LLC_LATENCY = 36
+DEFAULT_DRAM_LATENCY = 200
+
+#: MMU-cache hit latency (one cycle per skipped level is typical).
+DEFAULT_MMU_CACHE_LATENCY = 1
+
+# ---------------------------------------------------------------------------
+# CoLT defaults.
+# ---------------------------------------------------------------------------
+
+#: Default index-bit left shift for CoLT-SA: shifting by two maps four
+#: consecutive VPNs to the same set (paper Section 7.1.2 concludes two is
+#: the sweet spot).
+DEFAULT_COLT_SA_SHIFT = 2
+
+#: Bits used for the CoLT-FA coalescing-length field; 5 bits suffices for
+#: the paper (Section 4.2.2 -- "captures a contiguity of 1024 pages" when
+#: scaled by further merging; we store lengths up to 2**5 * 32).
+COLT_FA_LENGTH_BITS = 5
+
+#: Maximum number of translations one CoLT-FA entry may represent after
+#: insertion-time merging with resident entries.
+COLT_FA_MAX_SPAN = 1024

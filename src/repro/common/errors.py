@@ -1,0 +1,40 @@
+"""Exception hierarchy for the CoLT reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated physical memory could not satisfy an allocation."""
+
+
+class PageFaultError(ReproError):
+    """An access touched virtual memory with no backing VMA (a SIGSEGV)."""
+
+
+class TranslationError(ReproError):
+    """A page-table lookup failed or produced an inconsistent translation."""
+
+
+class AllocationError(ReproError):
+    """The buddy allocator was asked for an impossible block."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or trace is malformed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown id or bad config."""

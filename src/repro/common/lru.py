@@ -1,0 +1,95 @@
+"""Least-recently-used tracking used by every TLB and cache in the model.
+
+The paper assumes standard LRU replacement for the set-associative TLBs,
+the fully-associative superpage TLB, the caches, and the MMU caches
+(Sections 4.1.5, 4.2.3, 5.2.1). ``LRUTracker`` provides exact LRU over a
+small, bounded population -- which is all that hardware structures need --
+with O(1) touch/evict via an ordered dict.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LRUTracker(Generic[K]):
+    """Tracks recency of a bounded set of keys.
+
+    The tracker does not store payloads; structures keep their own entry
+    storage and consult the tracker for victim selection. This keeps the
+    replacement policy reusable across TLB sets, fully-associative TLBs,
+    cache sets, and MMU caches.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._order: "OrderedDict[K, None]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._order
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys from least- to most-recently used."""
+        return iter(self._order)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._order) >= self._capacity
+
+    def touch(self, key: K) -> None:
+        """Mark ``key`` as most-recently used, inserting it if absent.
+
+        Raises:
+            ValueError: inserting a new key into a full tracker; callers
+                must evict first so the eviction is explicit.
+        """
+        if key in self._order:
+            self._order.move_to_end(key)
+            return
+        if self.is_full:
+            raise ValueError(
+                "LRU tracker full; evict before inserting a new key"
+            )
+        self._order[key] = None
+
+    def victim(self) -> K:
+        """Return the least-recently-used key without removing it."""
+        if not self._order:
+            raise ValueError("LRU tracker is empty; no victim")
+        return next(iter(self._order))
+
+    def evict(self) -> K:
+        """Remove and return the least-recently-used key."""
+        if not self._order:
+            raise ValueError("LRU tracker is empty; nothing to evict")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: K) -> None:
+        """Remove ``key`` (e.g. on invalidation). Missing keys are errors."""
+        del self._order[key]
+
+    def discard(self, key: K) -> None:
+        """Remove ``key`` if present."""
+        self._order.pop(key, None)
+
+    def mru(self) -> Optional[K]:
+        """Most-recently-used key, or None when empty."""
+        if not self._order:
+            return None
+        return next(reversed(self._order))
+
+    def clear(self) -> None:
+        self._order.clear()

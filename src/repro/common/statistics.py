@@ -1,0 +1,132 @@
+"""Lightweight counters and summary statistics used throughout the model.
+
+Simulator components expose their behaviour through ``CounterSet``
+instances (named monotonically-increasing counters) so that experiments
+can snapshot, diff, and report them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+class CounterSet:
+    """A named collection of integer event counters."""
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._counters: Dict[str, int] = {name: 0 for name in names}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"cannot increment {name!r} by {amount}")
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def snapshot(self) -> "CounterSnapshot":
+        return CounterSnapshot(dict(self._counters))
+
+    def reset(self) -> None:
+        for name in self._counters:
+            self._counters[name] = 0
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter from ``other`` into this set."""
+        for name, value in other.as_dict().items():
+            self.increment(name, value)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"CounterSet({inner})"
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable snapshot of a CounterSet, supporting deltas."""
+
+    values: Mapping[str, int]
+
+    def __getitem__(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def delta(self, later: "CounterSnapshot") -> Dict[str, int]:
+        """Per-counter difference ``later - self``."""
+        keys = set(self.values) | set(later.values)
+        return {k: later[k] - self[k] for k in keys}
+
+
+@dataclass
+class RunningStat:
+    """Streaming mean/min/max over a sequence of observations."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def merge(self, other: "RunningStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+def misses_per_million(misses: int, instructions: int) -> float:
+    """Misses per million instructions (MPMI), the paper's Table 1 metric."""
+    if instructions <= 0:
+        raise ValueError("instruction count must be positive")
+    return misses * 1_000_000.0 / instructions
+
+
+def percent_eliminated(baseline: int, improved: int) -> float:
+    """Percentage of baseline events eliminated by an optimisation.
+
+    Negative values mean the optimisation *added* events (e.g. CoLT-SA
+    conflict misses with an overly aggressive index shift, Figure 19).
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def speedup_percent(baseline_cycles: float, improved_cycles: float) -> float:
+    """Runtime improvement percentage: how much faster the improved run is."""
+    if improved_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return 100.0 * (baseline_cycles - improved_cycles) / improved_cycles
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals: List[float] = [v for v in values]
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    log_sum = 0.0
+    import math
+
+    for v in vals:
+        log_sum += math.log(v)
+    return math.exp(log_sum / len(vals))

@@ -1,0 +1,9 @@
+"""Contiguity measurement: the paper's kernel instrumentation, in Python."""
+
+from repro.contiguity.scanner import (
+    ContiguityReport,
+    scan_process,
+    scan_translations,
+)
+
+__all__ = ["ContiguityReport", "scan_process", "scan_translations"]

@@ -1,0 +1,30 @@
+"""The paper's contribution: coalescing logic, CoLT MMU designs, timing."""
+
+from repro.core.coalescing import (
+    clip_to_group,
+    contiguous_run_around,
+    run_length_around,
+)
+from repro.core.mmu import MMU, CoLTDesign, MMUConfig, make_mmu_config
+from repro.core.performance import (
+    CoreModel,
+    PerformanceResult,
+    evaluate_performance,
+    mpmi,
+    perfect_tlb_result,
+)
+
+__all__ = [
+    "CoLTDesign",
+    "CoreModel",
+    "MMU",
+    "MMUConfig",
+    "PerformanceResult",
+    "clip_to_group",
+    "contiguous_run_around",
+    "evaluate_performance",
+    "make_mmu_config",
+    "mpmi",
+    "perfect_tlb_result",
+    "run_length_around",
+]

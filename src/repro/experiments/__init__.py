@@ -1,0 +1,27 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from repro.experiments.registry import EXPERIMENTS, Experiment, get_experiment
+from repro.experiments.scale import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    ExperimentScale,
+    scale_from_env,
+)
+from repro.experiments.environments import (
+    characterization_config,
+    simulation_config,
+)
+
+__all__ = [
+    "DEFAULT",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentScale",
+    "FULL",
+    "QUICK",
+    "characterization_config",
+    "get_experiment",
+    "scale_from_env",
+    "simulation_config",
+]

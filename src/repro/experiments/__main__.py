@@ -1,0 +1,41 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [...]``.
+
+Runs one or more experiments (or ``all``) at the scale selected by
+``REPRO_SCALE`` (quick / default / full) and prints each one's table.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.sim.runner import ExperimentRunner
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.scale import scale_from_env
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.experiments <experiment-id>... | all")
+        print("\nAvailable experiments:")
+        for experiment in EXPERIMENTS.values():
+            print(f"  {experiment.id:10s} {experiment.title}")
+        print("\nScale: set REPRO_SCALE=quick|default|full")
+        return 0
+
+    ids = list(EXPERIMENTS) if argv == ["all"] else argv
+    scale = scale_from_env()
+    runner = ExperimentRunner()
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        started = time.time()
+        result = experiment.run(scale, runner)
+        elapsed = time.time() - started
+        print(f"\n=== {experiment.title} ({elapsed:.1f}s) ===")
+        print(result.format_table())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""Figures 7-17: page-allocation contiguity characterisation.
+
+Figures 7-9, 10-12 and 13-15 plot per-benchmark CDFs of contiguity under
+three kernel settings; their legends carry the page-weighted average
+contiguity. Figures 16 and 17 plot how that average responds to memhog
+load (0/25/50%) with THS on and off respectively.
+
+All of these run on the characterisation environment (aged, loaded
+machine), and all statistics cover *non-superpage* pages only, exactly
+as the paper's scanner reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.cdfs import PAPER_CDF_POINTS
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.benchmarks import CONTIGUITY_PAPER_AVG
+from repro.experiments.environments import characterization_config
+from repro.experiments.scale import ExperimentScale
+
+#: The three kernel settings of Figures 7-15, keyed by experiment id.
+CDF_CONFIGS: Dict[str, Tuple[bool, bool]] = {
+    # id -> (ths_enabled, defrag_enabled)
+    "fig7_9": (True, True),     # THS on, normal compaction (Linux default)
+    "fig10_12": (False, True),  # THS off, normal compaction
+    "fig13_15": (False, False), # THS off, low compaction (worst case)
+}
+
+#: Index into CONTIGUITY_PAPER_AVG tuples for each configuration.
+_PAPER_INDEX = {"fig7_9": 0, "fig10_12": 1, "fig13_15": 2}
+
+
+@dataclass(frozen=True)
+class ContiguityCDFRow:
+    """One benchmark's contiguity distribution (one CDF curve)."""
+
+    benchmark: str
+    average_contiguity: float
+    paper_average: float
+    cdf_points: Dict[int, float]
+    superpage_pages: int
+    total_pages: int
+
+
+@dataclass(frozen=True)
+class ContiguityCDFResult:
+    config_id: str
+    ths_enabled: bool
+    defrag_enabled: bool
+    rows: Tuple[ContiguityCDFRow, ...]
+
+    @property
+    def average_of_averages(self) -> float:
+        """The figure legends' 'Average(...)' entry."""
+        return sum(r.average_contiguity for r in self.rows) / len(self.rows)
+
+    def format_table(self) -> str:
+        points = (1, 4, 16, 64, 256, 1024)
+        header = (
+            f"{'Benchmark':11s} {'avg':>8s} {'paper':>8s}  "
+            + " ".join(f"<={p:<5d}" for p in points)
+        )
+        lines = [
+            f"Contiguity CDFs [{self.config_id}]: THS "
+            f"{'on' if self.ths_enabled else 'off'}, "
+            f"{'normal' if self.defrag_enabled else 'low'} compaction",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            cdf = " ".join(f"{row.cdf_points[p]:6.2f}" for p in points)
+            lines.append(
+                f"{row.benchmark:11s} {row.average_contiguity:8.1f} "
+                f"{row.paper_average:8.2f}  {cdf}"
+            )
+        lines.append(
+            f"{'Average':11s} {self.average_of_averages:8.1f}"
+        )
+        return "\n".join(lines)
+
+
+def run_contiguity_cdfs(
+    config_id: str,
+    scale: ExperimentScale,
+    runner: Optional[ExperimentRunner] = None,
+) -> ContiguityCDFResult:
+    """Regenerate one of the three CDF figure groups."""
+    ths, defrag = CDF_CONFIGS[config_id]
+    paper_index = _PAPER_INDEX[config_id]
+    runner = runner or ExperimentRunner()
+    rows: List[ContiguityCDFRow] = []
+    for benchmark in scale.benchmarks:
+        result = runner.run(
+            characterization_config(
+                benchmark, scale, ths_enabled=ths, defrag_enabled=defrag
+            )
+        )
+        report = result.contiguity
+        rows.append(
+            ContiguityCDFRow(
+                benchmark=benchmark,
+                average_contiguity=report.average_contiguity,
+                paper_average=CONTIGUITY_PAPER_AVG[benchmark][paper_index],
+                cdf_points=report.cdf().evaluate(PAPER_CDF_POINTS),
+                superpage_pages=report.superpage_pages,
+                total_pages=report.total_pages,
+            )
+        )
+    return ContiguityCDFResult(config_id, ths, defrag, tuple(rows))
+
+
+@dataclass(frozen=True)
+class MemhogRow:
+    """One benchmark's average contiguity across memhog loads."""
+
+    benchmark: str
+    no_memhog: float
+    memhog_25: float
+    memhog_50: float
+
+
+@dataclass(frozen=True)
+class MemhogResult:
+    figure: str  # "fig16" (THS on) or "fig17" (THS off)
+    ths_enabled: bool
+    rows: Tuple[MemhogRow, ...]
+
+    def averages(self) -> Tuple[float, float, float]:
+        n = len(self.rows)
+        return (
+            sum(r.no_memhog for r in self.rows) / n,
+            sum(r.memhog_25 for r in self.rows) / n,
+            sum(r.memhog_50 for r in self.rows) / n,
+        )
+
+    def format_table(self) -> str:
+        header = (
+            f"{'Benchmark':11s} {'no memhog':>10s} {'memhog 25%':>11s} "
+            f"{'memhog 50%':>11s}"
+        )
+        lines = [
+            f"Average contiguity vs load [{self.figure}]: THS "
+            f"{'on' if self.ths_enabled else 'off'}",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.benchmark:11s} {row.no_memhog:10.1f} "
+                f"{row.memhog_25:11.1f} {row.memhog_50:11.1f}"
+            )
+        avg = self.averages()
+        lines.append(
+            f"{'Average':11s} {avg[0]:10.1f} {avg[1]:11.1f} {avg[2]:11.1f}"
+        )
+        return "\n".join(lines)
+
+
+def run_memhog_figure(
+    figure: str,
+    scale: ExperimentScale,
+    runner: Optional[ExperimentRunner] = None,
+) -> MemhogResult:
+    """Regenerate Figure 16 (THS on) or Figure 17 (THS off)."""
+    if figure not in ("fig16", "fig17"):
+        raise ValueError(f"figure must be fig16 or fig17, got {figure!r}")
+    ths = figure == "fig16"
+    runner = runner or ExperimentRunner()
+    rows: List[MemhogRow] = []
+    for benchmark in scale.benchmarks:
+        values = []
+        for fraction in (0.0, 0.25, 0.50):
+            result = runner.run(
+                characterization_config(
+                    benchmark, scale, ths_enabled=ths,
+                    memhog_fraction=fraction,
+                )
+            )
+            values.append(result.contiguity.average_contiguity)
+        rows.append(MemhogRow(benchmark, *values))
+    return MemhogResult(figure, ths, tuple(rows))

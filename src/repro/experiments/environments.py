@@ -1,0 +1,79 @@
+"""The paper's two experimental environments, as configuration factories.
+
+Sections 5.1/6 (contiguity characterisation) measure a *real, loaded
+machine*: two months of uptime, live background processes, optional
+memhog. Sections 5.2/7 (TLB simulation) replay benchmark traces captured
+on *freshly-booted simulated kernels*: mild fragmentation, no competing
+load. The two environments produce very different contiguity -- which is
+why the characterisation averages are tens of pages while the TLB
+results exploit runs of hundreds -- so each experiment must pick the one
+its paper section used.
+"""
+
+from __future__ import annotations
+
+from repro.core.mmu import CoLTDesign
+from repro.osmem.kernel import KernelConfig
+from repro.osmem.memhog import CHARACTERIZATION_AGING, SIMULATION_AGING
+from repro.sim.system import SimulationConfig
+from repro.experiments.scale import ExperimentScale
+
+
+def characterization_config(
+    benchmark: str,
+    scale: ExperimentScale,
+    ths_enabled: bool = True,
+    defrag_enabled: bool = True,
+    memhog_fraction: float = 0.0,
+) -> SimulationConfig:
+    """A Section 5.1-style run: aged, loaded, live-churning machine.
+
+    The five kernel settings of the paper map to:
+      1. THS on,  defrag on,  no memhog (Linux default)
+      2. THS off, defrag on,  no memhog
+      3. THS off, defrag off, no memhog (low compaction)
+      4. THS on,  defrag on,  memhog 25% / 50%
+      5. THS off, defrag on,  memhog 25% / 50%
+    """
+    return SimulationConfig(
+        benchmark=benchmark,
+        design=CoLTDesign.BASELINE,
+        kernel=KernelConfig(
+            num_frames=scale.num_frames,
+            ths_enabled=ths_enabled,
+            defrag_enabled=defrag_enabled,
+        ),
+        memhog_fraction=memhog_fraction,
+        accesses=scale.accesses,
+        scale=scale.footprint_scale,
+        seed=scale.seed,
+        aging=CHARACTERIZATION_AGING,
+        churn_every=48,
+    )
+
+
+def simulation_config(
+    benchmark: str,
+    scale: ExperimentScale,
+    design: CoLTDesign = CoLTDesign.BASELINE,
+) -> SimulationConfig:
+    """A Section 5.2-style run: fresh kernel, benchmark alone.
+
+    THS and compaction stay at their Linux defaults (the paper's sim
+    kernel config), but uptime has consumed the machine's order-9 blocks,
+    so superpages are sparse and the contiguity CoLT leverages is
+    base-page contiguity.
+    """
+    return SimulationConfig(
+        benchmark=benchmark,
+        design=design,
+        kernel=KernelConfig(
+            num_frames=scale.num_frames,
+            thp_fault_compaction_budget=128,
+        ),
+        accesses=scale.accesses,
+        scale=scale.footprint_scale,
+        seed=scale.seed,
+        aging=SIMULATION_AGING,
+        churn_every=0,
+    )

@@ -1,0 +1,76 @@
+"""Table 1: baseline L1/L2 TLB MPMI with THS enabled and disabled.
+
+The paper's Table 1 is measured with on-chip performance counters on the
+real, loaded machine; we run the same configurations (THS on vs off,
+normal compaction, no memhog) on the characterisation environment and
+report the baseline TLB hierarchy's misses per million instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.benchmarks import TABLE1_PAPER_MPMI, get_benchmark
+from repro.experiments.environments import characterization_config
+from repro.experiments.scale import ExperimentScale
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's measured-vs-paper MPMI."""
+
+    benchmark: str
+    suite: str
+    l1_mpmi_ths_on: float
+    l2_mpmi_ths_on: float
+    l1_mpmi_ths_off: float
+    l2_mpmi_ths_off: float
+    paper: Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: Tuple[Table1Row, ...]
+
+    def format_table(self) -> str:
+        header = (
+            f"{'Benchmark':11s} {'Suite':8s} "
+            f"{'L1on':>8s} {'(paper)':>8s} {'L2on':>8s} {'(paper)':>8s} "
+            f"{'L1off':>8s} {'(paper)':>8s} {'L2off':>8s} {'(paper)':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            p = row.paper
+            lines.append(
+                f"{row.benchmark:11s} {row.suite:8s} "
+                f"{row.l1_mpmi_ths_on:8.0f} {p[0]:8d} "
+                f"{row.l2_mpmi_ths_on:8.0f} {p[1]:8d} "
+                f"{row.l1_mpmi_ths_off:8.0f} {p[2]:8d} "
+                f"{row.l2_mpmi_ths_off:8.0f} {p[3]:8d}"
+            )
+        return "\n".join(lines)
+
+
+def run_table1(
+    scale: ExperimentScale, runner: ExperimentRunner = None
+) -> Table1Result:
+    """Regenerate Table 1 at the given scale."""
+    runner = runner or ExperimentRunner()
+    rows: List[Table1Row] = []
+    for benchmark in scale.benchmarks:
+        on = runner.run(characterization_config(benchmark, scale, ths_enabled=True))
+        off = runner.run(characterization_config(benchmark, scale, ths_enabled=False))
+        rows.append(
+            Table1Row(
+                benchmark=benchmark,
+                suite=get_benchmark(benchmark).suite,
+                l1_mpmi_ths_on=on.l1_mpmi,
+                l2_mpmi_ths_on=on.l2_mpmi,
+                l1_mpmi_ths_off=off.l1_mpmi,
+                l2_mpmi_ths_off=off.l2_mpmi,
+                paper=TABLE1_PAPER_MPMI[benchmark],
+            )
+        )
+    return Table1Result(tuple(rows))

@@ -1,0 +1,278 @@
+"""Figures 18-21: CoLT's TLB miss eliminations and performance gains.
+
+All four figures run on the simulation environment (fresh kernel per
+benchmark, Section 5.2) with the paper's simulated hierarchy: 32/128
+-entry 4-way L1/L2 TLBs, 16-entry superpage TLB (8 for CoLT-FA/All).
+
+* Figure 18 -- % of baseline L1 and L2 misses eliminated by CoLT-SA,
+  CoLT-FA and CoLT-All.
+* Figure 19 -- CoLT-SA with the index field left-shifted by 1, 2, 3.
+* Figure 20 -- fixed-size L2 associativity study: 4-way CoLT-SA vs
+  8-way without CoLT vs 8-way CoLT-SA.
+* Figure 21 -- runtime improvement over the baseline for a perfect TLB
+  and each CoLT design, via the serialised-walk interpolation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.statistics import percent_eliminated
+from repro.core.mmu import CoLTDesign, make_mmu_config
+from repro.sim.runner import ExperimentRunner
+from repro.experiments.environments import simulation_config
+from repro.experiments.scale import ExperimentScale
+
+#: Figure 18 / 21 design order.
+COLT_DESIGNS = (CoLTDesign.COLT_SA, CoLTDesign.COLT_FA, CoLTDesign.COLT_ALL)
+
+
+@dataclass(frozen=True)
+class Fig18Row:
+    benchmark: str
+    l1_eliminated: Dict[str, float]  # design value -> %
+    l2_eliminated: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    rows: Tuple[Fig18Row, ...]
+
+    def average(self, level: str, design: CoLTDesign) -> float:
+        key = design.value
+        values = [
+            (row.l1_eliminated if level == "l1" else row.l2_eliminated)[key]
+            for row in self.rows
+        ]
+        return sum(values) / len(values)
+
+    def format_table(self) -> str:
+        header = (
+            f"{'Benchmark':11s} "
+            f"{'SA L1%':>7s} {'FA L1%':>7s} {'All L1%':>8s}   "
+            f"{'SA L2%':>7s} {'FA L2%':>7s} {'All L2%':>8s}"
+        )
+        lines = ["Fig 18: % baseline TLB misses eliminated", header,
+                 "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.benchmark:11s} "
+                f"{row.l1_eliminated['colt_sa']:7.1f} "
+                f"{row.l1_eliminated['colt_fa']:7.1f} "
+                f"{row.l1_eliminated['colt_all']:8.1f}   "
+                f"{row.l2_eliminated['colt_sa']:7.1f} "
+                f"{row.l2_eliminated['colt_fa']:7.1f} "
+                f"{row.l2_eliminated['colt_all']:8.1f}"
+            )
+        lines.append(
+            f"{'Average':11s} "
+            f"{self.average('l1', CoLTDesign.COLT_SA):7.1f} "
+            f"{self.average('l1', CoLTDesign.COLT_FA):7.1f} "
+            f"{self.average('l1', CoLTDesign.COLT_ALL):8.1f}   "
+            f"{self.average('l2', CoLTDesign.COLT_SA):7.1f} "
+            f"{self.average('l2', CoLTDesign.COLT_FA):7.1f} "
+            f"{self.average('l2', CoLTDesign.COLT_ALL):8.1f}"
+        )
+        return "\n".join(lines)
+
+
+def run_fig18(
+    scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
+) -> Fig18Result:
+    runner = runner or ExperimentRunner()
+    rows: List[Fig18Row] = []
+    for benchmark in scale.benchmarks:
+        base_cfg = simulation_config(benchmark, scale)
+        results = runner.run_designs(
+            base_cfg, (CoLTDesign.BASELINE,) + COLT_DESIGNS
+        )
+        baseline = results[CoLTDesign.BASELINE]
+        l1 = {
+            d.value: percent_eliminated(
+                baseline.l1_misses, results[d].l1_misses
+            )
+            for d in COLT_DESIGNS
+        }
+        l2 = {
+            d.value: percent_eliminated(
+                baseline.l2_misses, results[d].l2_misses
+            )
+            for d in COLT_DESIGNS
+        }
+        rows.append(Fig18Row(benchmark, l1, l2))
+    return Fig18Result(tuple(rows))
+
+
+@dataclass(frozen=True)
+class Fig19Row:
+    benchmark: str
+    l1_eliminated: Dict[int, float]  # shift -> %
+    l2_eliminated: Dict[int, float]
+
+
+@dataclass(frozen=True)
+class Fig19Result:
+    rows: Tuple[Fig19Row, ...]
+    shifts: Tuple[int, ...] = (1, 2, 3)
+
+    def format_table(self) -> str:
+        header = (
+            f"{'Benchmark':11s} "
+            + " ".join(f"L1 s={s:>1d}%".rjust(8) for s in self.shifts)
+            + "   "
+            + " ".join(f"L2 s={s:>1d}%".rjust(8) for s in self.shifts)
+        )
+        lines = ["Fig 19: CoLT-SA index left-shift sweep", header,
+                 "-" * len(header)]
+        for row in self.rows:
+            l1 = " ".join(f"{row.l1_eliminated[s]:8.1f}" for s in self.shifts)
+            l2 = " ".join(f"{row.l2_eliminated[s]:8.1f}" for s in self.shifts)
+            lines.append(f"{row.benchmark:11s} {l1}   {l2}")
+        return "\n".join(lines)
+
+
+def run_fig19(
+    scale: ExperimentScale,
+    runner: Optional[ExperimentRunner] = None,
+    shifts: Tuple[int, ...] = (1, 2, 3),
+) -> Fig19Result:
+    runner = runner or ExperimentRunner()
+    rows: List[Fig19Row] = []
+    for benchmark in scale.benchmarks:
+        base_cfg = simulation_config(benchmark, scale)
+        baseline = runner.run(base_cfg)
+        l1: Dict[int, float] = {}
+        l2: Dict[int, float] = {}
+        for shift in shifts:
+            cfg = base_cfg.with_updates(
+                design=CoLTDesign.COLT_SA,
+                mmu=make_mmu_config(CoLTDesign.COLT_SA, sa_shift=shift),
+            )
+            result = runner.run(cfg)
+            l1[shift] = percent_eliminated(
+                baseline.l1_misses, result.l1_misses
+            )
+            l2[shift] = percent_eliminated(
+                baseline.l2_misses, result.l2_misses
+            )
+        rows.append(Fig19Row(benchmark, l1, l2))
+    return Fig19Result(tuple(rows), shifts)
+
+
+@dataclass(frozen=True)
+class Fig20Row:
+    """% of the 4-way baseline's L2 misses eliminated by each variant."""
+
+    benchmark: str
+    colt_sa_4way: float
+    no_colt_8way: float
+    colt_sa_8way: float
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    rows: Tuple[Fig20Row, ...]
+
+    def averages(self) -> Tuple[float, float, float]:
+        n = len(self.rows)
+        return (
+            sum(r.colt_sa_4way for r in self.rows) / n,
+            sum(r.no_colt_8way for r in self.rows) / n,
+            sum(r.colt_sa_8way for r in self.rows) / n,
+        )
+
+    def format_table(self) -> str:
+        header = (
+            f"{'Benchmark':11s} {'4way CoLT-SA%':>14s} "
+            f"{'8way no CoLT%':>14s} {'8way CoLT-SA%':>14s}"
+        )
+        lines = ["Fig 20: L2 misses eliminated vs 4-way baseline",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.benchmark:11s} {row.colt_sa_4way:14.1f} "
+                f"{row.no_colt_8way:14.1f} {row.colt_sa_8way:14.1f}"
+            )
+        avg = self.averages()
+        lines.append(
+            f"{'Average':11s} {avg[0]:14.1f} {avg[1]:14.1f} {avg[2]:14.1f}"
+        )
+        return "\n".join(lines)
+
+
+def run_fig20(
+    scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
+) -> Fig20Result:
+    runner = runner or ExperimentRunner()
+    rows: List[Fig20Row] = []
+    for benchmark in scale.benchmarks:
+        base_cfg = simulation_config(benchmark, scale)
+        baseline = runner.run(base_cfg)  # 4-way, no CoLT
+        variants = {
+            "colt_sa_4way": base_cfg.with_updates(
+                design=CoLTDesign.COLT_SA,
+                mmu=make_mmu_config(CoLTDesign.COLT_SA, l2_ways=4),
+            ),
+            "no_colt_8way": base_cfg.with_updates(
+                design=CoLTDesign.BASELINE,
+                mmu=make_mmu_config(CoLTDesign.BASELINE, l2_ways=8),
+            ),
+            "colt_sa_8way": base_cfg.with_updates(
+                design=CoLTDesign.COLT_SA,
+                mmu=make_mmu_config(CoLTDesign.COLT_SA, l2_ways=8),
+            ),
+        }
+        eliminated = {
+            key: percent_eliminated(
+                baseline.l2_misses, runner.run(cfg).l2_misses
+            )
+            for key, cfg in variants.items()
+        }
+        rows.append(Fig20Row(benchmark, **eliminated))
+    return Fig20Result(tuple(rows))
+
+
+@dataclass(frozen=True)
+class Fig21Row:
+    benchmark: str
+    improvements: Dict[str, float]  # design value (incl. "perfect") -> %
+
+
+@dataclass(frozen=True)
+class Fig21Result:
+    rows: Tuple[Fig21Row, ...]
+
+    def average(self, design: str) -> float:
+        return sum(r.improvements[design] for r in self.rows) / len(self.rows)
+
+    def format_table(self) -> str:
+        designs = ("perfect", "colt_sa", "colt_fa", "colt_all")
+        header = f"{'Benchmark':11s} " + " ".join(
+            f"{d:>9s}" for d in designs
+        )
+        lines = ["Fig 21: runtime improvement over baseline (%)",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            vals = " ".join(f"{row.improvements[d]:9.1f}" for d in designs)
+            lines.append(f"{row.benchmark:11s} {vals}")
+        avgs = " ".join(f"{self.average(d):9.1f}" for d in designs)
+        lines.append(f"{'Average':11s} {avgs}")
+        return "\n".join(lines)
+
+
+def run_fig21(
+    scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
+) -> Fig21Result:
+    runner = runner or ExperimentRunner()
+    rows: List[Fig21Row] = []
+    for benchmark in scale.benchmarks:
+        base_cfg = simulation_config(benchmark, scale)
+        perf_rows = runner.performance_improvements(base_cfg)
+        rows.append(
+            Fig21Row(
+                benchmark,
+                {row.design: row.improvement_pct for row in perf_rows},
+            )
+        )
+    return Fig21Result(tuple(rows))

@@ -1,0 +1,49 @@
+"""OS memory-management substrate: the contiguity generators.
+
+This subpackage reimplements, from scratch, every OS mechanism the paper
+identifies as a source of page-allocation contiguity (Section 3.2): the
+buddy allocator, the memory-compaction daemon, and Transparent Hugepage
+Support -- plus the plumbing they need (physical-frame bookkeeping, x86-64
+page tables, VMAs, processes, demand faulting) and the load generators
+used in the characterisation study (system aging, memhog).
+"""
+
+from repro.osmem.buddy import BuddyAllocator, order_for_pages
+from repro.osmem.compaction import CompactionDaemon
+from repro.osmem.kernel import Kernel, KernelConfig
+from repro.osmem.memhog import (
+    CHARACTERIZATION_AGING,
+    SIMULATION_AGING,
+    AgingProfile,
+    Memhog,
+    age_system,
+)
+from repro.osmem.page_table import PageTable, SequentialFrameSource
+from repro.osmem.physical import KERNEL_PID, FrameRange, PhysicalMemory
+from repro.osmem.process import Process
+from repro.osmem.thp import SUPERPAGE_ORDER, ThpManager
+from repro.osmem.vma import VMA, AddressSpace, VMAKind
+
+__all__ = [
+    "AddressSpace",
+    "AgingProfile",
+    "CHARACTERIZATION_AGING",
+    "SIMULATION_AGING",
+    "BuddyAllocator",
+    "CompactionDaemon",
+    "FrameRange",
+    "KERNEL_PID",
+    "Kernel",
+    "KernelConfig",
+    "Memhog",
+    "PageTable",
+    "PhysicalMemory",
+    "Process",
+    "SUPERPAGE_ORDER",
+    "SequentialFrameSource",
+    "ThpManager",
+    "VMA",
+    "VMAKind",
+    "age_system",
+    "order_for_pages",
+]

@@ -1,0 +1,278 @@
+"""System-load and fragmentation utilities: memhog and system aging.
+
+The paper loads the machine two ways before measuring contiguity
+(Section 5.1.1): the system has "already run a number of applications
+... for two months" (we reproduce this with :func:`age_system`, a burst
+of allocate/free churn from background processes), and the ``memhog``
+utility pins 25% or 50% of memory (reproduced by :class:`Memhog`).
+
+Memhog's pages are ordinary movable user pages; its effect on contiguity
+is indirect and double-edged, exactly as the paper observes (Section
+6.4): occupying memory raises pressure, which triggers the compaction
+daemon more often, which can *increase* the contiguity available to the
+workload -- until, at 50%, sheer occupancy wins and contiguity drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.rng import SeedSequencer
+from repro.osmem.kernel import Kernel
+from repro.osmem.process import Process
+from repro.osmem.vma import VMAKind
+
+
+@dataclass(frozen=True)
+class AgingProfile:
+    """Parameters for :func:`age_system` churn.
+
+    Attributes:
+        fill_free_fraction: phase 1 allocates churn until free memory
+            drops below this fraction. A machine that has run "a number
+            of applications for two months" (Section 5.1.1) has had its
+            page cache touch essentially every frame, so aging must fill
+            memory, not just nibble at it.
+        drain_free_fraction: phase 2 frees churn back until at least this
+            fraction is free again, leaving the survivors (and the holes
+            punched through them) scattered across all of memory.
+        max_alloc_pages: allocation sizes are drawn log-uniformly in
+            [1, max_alloc_pages].
+        interleave_release_fraction: during phase 1, fraction of steps
+            that also free an existing allocation, mixing lifetimes.
+        hole_punch_fraction: fraction of the frees that release only a
+            strided sub-range of the VMA instead of all of it. Long-lived
+            allocations with holes punched through them are the dominant
+            source of external fragmentation on real systems -- whole-VMA
+            frees mostly merge back into large buddy blocks.
+        hole_stride: granularity of hole punching: alternating
+            ``hole_stride``-page groups are freed/kept.
+        resident_fraction_file_backed: fraction of surviving allocations
+            tagged file-backed (page cache), which THS can never collapse.
+        settle_ticks: background ticks run after the drain, letting
+            kcompactd-style compaction rebuild a few high-order free
+            blocks -- the blocks opportunistic THP allocations live off.
+        consume_high_orders: if set, a resident hog allocates away every
+            free block of this order or larger after the churn settles.
+            Models the long-uptime depletion of *huge* free blocks (the
+            reason "aligned 2MB regions are rare", Section 3.2.3) without
+            shattering the mid-order blocks CoLT's contiguity lives off.
+    """
+
+    fill_free_fraction: float = 0.06
+    drain_free_fraction: float = 0.42
+    max_alloc_pages: int = 256
+    interleave_release_fraction: float = 0.3
+    hole_punch_fraction: float = 0.55
+    hole_stride: int = 16
+    resident_fraction_file_backed: float = 0.5
+    settle_ticks: int = 96
+    consume_high_orders: Optional[int] = None
+
+
+def age_system(
+    kernel: Kernel,
+    seeds: SeedSequencer,
+    profile: AgingProfile = AgingProfile(),
+) -> List[Process]:
+    """Fragment a freshly-booted kernel like a long-running system.
+
+    Spawns background processes that allocate and free in interleaved,
+    random-sized bursts -- some frees releasing whole regions, others
+    punching strided holes through them -- leaving a realistic mix of
+    resident allocations and buddy-list shrapnel. Returns the surviving
+    background processes (already registered as reclaim victims).
+    """
+    rng = seeds.rng("aging")
+    daemons = [
+        kernel.create_process(name=f"background{i}", fault_batch=4)
+        for i in range(4)
+    ]
+    for daemon in daemons:
+        kernel.register_reclaim_victim(daemon)
+
+    total = kernel.config.num_frames
+    live_vmas = []  # (process, vma)
+    op = 0
+
+    # Phase 1: fill memory, interleaving allocations with occasional frees
+    # so surviving regions end up with mixed neighbours.
+    while kernel.physical.free_frames / total > profile.fill_free_fraction:
+        process = daemons[int(rng.integers(len(daemons)))]
+        log_max = np.log2(profile.max_alloc_pages)
+        pages = max(1, int(2 ** rng.uniform(0, log_max)))
+        pages = min(pages, max(1, kernel.physical.free_frames // 2))
+        kind = (
+            VMAKind.FILE_BACKED
+            if rng.random() < profile.resident_fraction_file_backed
+            else VMAKind.ANONYMOUS
+        )
+        try:
+            vma = kernel.malloc(
+                process, pages, name=f"churn{op}", populate=True, kind=kind
+            )
+        except OutOfMemoryError:
+            break
+        live_vmas.append((process, vma))
+        op += 1
+        if live_vmas and rng.random() < profile.interleave_release_fraction:
+            index = int(rng.integers(len(live_vmas)))
+            _release(kernel, live_vmas, index, rng, profile)
+        kernel.tick()
+
+    # Phase 2: drain back to the target free fraction. Frees hit random
+    # survivors, and most punch strided holes instead of vacating whole
+    # regions -- this is what shatters the buddy free lists.
+    while (
+        live_vmas
+        and kernel.physical.free_frames / total < profile.drain_free_fraction
+    ):
+        index = int(rng.integers(len(live_vmas)))
+        _release(kernel, live_vmas, index, rng, profile)
+        kernel.tick()
+
+    # Settle: background compaction rebuilds some high-order blocks, as
+    # kcompactd does on a real machine once the pressure subsides.
+    for _ in range(profile.settle_ticks):
+        kernel.tick()
+
+    if profile.consume_high_orders is not None:
+        _consume_high_orders(kernel, profile.consume_high_orders)
+    return daemons
+
+
+def _consume_high_orders(kernel: Kernel, order: int) -> None:
+    """Break every free block of ``order`` or larger into halves.
+
+    Each block is split around one pinned kernel page placed at its
+    midpoint, so the buddy allocator can never re-merge the halves: the
+    order-(order-1) supply survives intact while aligned ``order`` blocks
+    -- the ones THP needs -- disappear, exactly the state of a machine
+    whose uptime has eaten its huge blocks but not its medium ones.
+    """
+    from repro.osmem.physical import KERNEL_PID
+
+    while kernel.buddy.can_allocate(order):
+        start = kernel.buddy.alloc_block(order)
+        size = 1 << order
+        mid = start + size // 2
+        kernel.physical.mark_allocated(
+            mid, 1, owner=KERNEL_PID, movable=False, backing_vpn=None
+        )
+        kernel.buddy.free_run(start, size // 2)
+        if size // 2 - 1 > 0:
+            kernel.buddy.free_run(mid + 1, size // 2 - 1)
+
+
+def _release(kernel, live_vmas, index, rng, profile: AgingProfile) -> None:
+    """Free one live churn VMA, wholly or by punching holes.
+
+    Small regions get holes punched through them (allocator churn inside
+    long-lived heaps); large regions are usually vacated whole (a big
+    process or file mapping going away), which is what occasionally
+    leaves the buddy allocator genuinely large free blocks -- the blocks
+    opportunistic THP lives off.
+    """
+    process, vma = live_vmas.pop(index)
+    punch = profile.hole_punch_fraction
+    if vma.num_pages > 4 * profile.hole_stride:
+        punch *= 0.5
+    if rng.random() < punch:
+        _punch_holes(kernel, process, vma, profile.hole_stride)
+    else:
+        kernel.free_vma(process, vma)
+
+
+def _punch_holes(kernel: Kernel, process: Process, vma, stride: int) -> None:
+    """Free alternating ``stride``-page groups of a VMA (madvise(DONTNEED))."""
+    offset = 0
+    while offset < vma.num_pages:
+        length = min(stride, vma.num_pages - offset)
+        kernel.unpopulate_range(process, vma.start_vpn + offset, length)
+        offset += 2 * stride
+
+
+#: The heavily-aged, live-load machine of the paper's real-system
+#: characterisation (Sections 5.1, 6): two months of uptime, punched-up
+#: buddy lists, intermediate contiguity in the tens of pages.
+CHARACTERIZATION_AGING = AgingProfile()
+
+#: The paper's trace-driven simulations (Sections 5.2, 7) boot a fresh
+#: kernel per benchmark: mild fragmentation, high base-page contiguity,
+#: and -- because order-9 blocks are already broken -- only a sparse
+#: sprinkling of superpages ("superpages are used sparingly").
+SIMULATION_AGING = AgingProfile(
+    fill_free_fraction=0.72,
+    drain_free_fraction=0.82,
+    max_alloc_pages=256,
+    hole_punch_fraction=0.25,
+    hole_stride=64,
+    settle_ticks=0,
+    consume_high_orders=9,
+)
+
+
+class Memhog:
+    """The memory-fragmentation utility of the paper's load studies.
+
+    Occupies ``fraction`` of physical memory with many independently-sized
+    anonymous allocations. Its process registers as a reclaim victim, so
+    under extreme pressure the kernel can push it out (as swap would).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        fraction: float,
+        seeds: Optional[SeedSequencer] = None,
+    ) -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(
+                f"memhog fraction must be in (0, 1), got {fraction}"
+            )
+        self._kernel = kernel
+        self._fraction = fraction
+        self._seeds = seeds or SeedSequencer(kernel.config.seed)
+        self.process: Optional[Process] = None
+
+    @property
+    def target_pages(self) -> int:
+        return int(self._kernel.config.num_frames * self._fraction)
+
+    def start(self) -> Process:
+        """Allocate the configured share of memory; returns the process."""
+        if self.process is not None:
+            raise ConfigurationError("memhog already started")
+        rng = self._seeds.rng("memhog")
+        process = self._kernel.create_process(name="memhog", fault_batch=8)
+        self._kernel.register_reclaim_victim(process)
+        remaining = self.target_pages
+        chunk_index = 0
+        while remaining > 0:
+            # memhog touches memory in modest chunks; the spread of sizes
+            # is what makes its footprint fragmenting rather than one
+            # giant (and perfectly contiguous) slab.
+            pages = int(min(remaining, 2 ** rng.uniform(3, 9)))
+            pages = max(1, pages)
+            try:
+                self._kernel.malloc(
+                    process, pages, name=f"memhog{chunk_index}", populate=True
+                )
+            except OutOfMemoryError:
+                break
+            remaining -= pages
+            chunk_index += 1
+            self._kernel.tick()
+        self.process = process
+        return process
+
+    def stop(self) -> None:
+        """Release all of memhog's memory."""
+        if self.process is None:
+            return
+        self._kernel.exit_process(self.process)
+        self.process = None

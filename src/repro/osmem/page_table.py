@@ -1,0 +1,423 @@
+"""x86-64 four-level radix page table.
+
+The page table is the interface between the OS substrate and the TLB
+simulator: the fault path installs translations here, the page walker
+reads them back (level by level, so MMU caches and the data caches see
+realistic access streams), and the contiguity scanner measures how
+contiguous the installed mappings are.
+
+Table nodes occupy real simulated frames. That matters because the walker
+fetches PTEs by *physical address* in 64-byte cache lines: the eight PTEs
+sharing a line are the only translations CoLT may coalesce without extra
+memory references (paper Section 4.1.4), and which PTEs share a line is
+determined by their placement inside the table node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.constants import (
+    BITS_PER_LEVEL,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_SIZE,
+    PTES_PER_CACHE_LINE,
+    PTES_PER_TABLE,
+    SUPERPAGE_PAGES,
+    VPN_BITS,
+)
+from repro.common.errors import TranslationError
+from repro.common.types import PageAttributes, Translation
+
+#: Radix levels, root first: PML4 -> PDPT -> PD -> PT.
+LEVEL_NAMES = ("pml4", "pdpt", "pd", "pt")
+
+#: Level index at which 2MB superpage leaves live (the PD).
+SUPERPAGE_LEVEL = 2
+
+#: Leaf level for 4KB pages (the PT).
+LEAF_LEVEL = 3
+
+
+def level_index(vpn: int, level: int) -> int:
+    """Index into the ``level``-th table node for virtual page ``vpn``."""
+    shift = (LEAF_LEVEL - level) * BITS_PER_LEVEL
+    return (vpn >> shift) & (PTES_PER_TABLE - 1)
+
+
+@dataclass
+class _LeafEntry:
+    """A present leaf translation (4KB PTE or 2MB PDE)."""
+
+    pfn: int
+    attributes: PageAttributes
+    is_superpage: bool
+
+
+class _Node:
+    """One table node: a 4KB frame holding 512 eight-byte entries."""
+
+    __slots__ = ("frame", "children", "leaves")
+
+    def __init__(self, frame: int) -> None:
+        self.frame = frame
+        self.children: Dict[int, "_Node"] = {}
+        self.leaves: Dict[int, _LeafEntry] = {}
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.children and not self.leaves
+
+    def entry_physical_address(self, index: int) -> int:
+        return self.frame * PAGE_SIZE + index * PTE_SIZE
+
+
+class SequentialFrameSource:
+    """Fallback frame source for page-table nodes.
+
+    Hands out frame numbers from a private high range so standalone page
+    tables (unit tests, TLB-only simulations) get realistic, distinct
+    physical placement for their nodes without a full kernel.
+    """
+
+    def __init__(self, base_frame: int = 1 << 30) -> None:
+        self._next = base_frame
+
+    def allocate(self) -> int:
+        frame = self._next
+        self._next += 1
+        return frame
+
+    def release(self, frame: int) -> None:  # pragma: no cover - trivial
+        del frame  # frames are never reused; fine for a test source
+
+
+class PageTable:
+    """A per-process x86-64 page table.
+
+    Args:
+        allocate_frame: callable returning a fresh physical frame number
+            for a new table node (the kernel passes a pinned buddy
+            allocation; standalone users get a :class:`SequentialFrameSource`).
+        release_frame: callable invoked when a table node is torn down.
+    """
+
+    def __init__(
+        self,
+        allocate_frame: Optional[Callable[[], int]] = None,
+        release_frame: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if allocate_frame is None:
+            source = SequentialFrameSource()
+            allocate_frame = source.allocate
+            release_frame = source.release
+        self._allocate_frame = allocate_frame
+        self._release_frame = release_frame or (lambda frame: None)
+        self._root = _Node(self._allocate_frame())
+        self._mapped_pages = 0
+        self._mapped_superpages = 0
+
+    # ------------------------------------------------------------------
+    # Mapping installation / removal.
+    # ------------------------------------------------------------------
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of 4KB leaf mappings (superpages count as 512)."""
+        return self._mapped_pages + self._mapped_superpages * SUPERPAGE_PAGES
+
+    @property
+    def mapped_superpages(self) -> int:
+        return self._mapped_superpages
+
+    def map_page(
+        self,
+        vpn: int,
+        pfn: int,
+        attributes: PageAttributes = PageAttributes.default_user(),
+    ) -> None:
+        """Install a 4KB translation ``vpn -> pfn``."""
+        self._check_vpn(vpn)
+        node = self._descend_to_pt(vpn, create=True)
+        index = level_index(vpn, LEAF_LEVEL)
+        if index in node.leaves:
+            raise TranslationError(f"vpn {vpn} already mapped")
+        node.leaves[index] = _LeafEntry(pfn, attributes, is_superpage=False)
+        self._mapped_pages += 1
+
+    def map_superpage(
+        self,
+        vpn: int,
+        pfn: int,
+        attributes: PageAttributes = PageAttributes.default_user(),
+    ) -> None:
+        """Install a 2MB translation covering ``[vpn, vpn + 512)``.
+
+        Both ``vpn`` and ``pfn`` must be 512-page aligned (the paper's
+        Section 2.2 alignment requirement for superpages).
+        """
+        self._check_vpn(vpn)
+        if vpn % SUPERPAGE_PAGES != 0 or pfn % SUPERPAGE_PAGES != 0:
+            raise TranslationError(
+                f"superpage requires 512-page alignment (vpn={vpn}, pfn={pfn})"
+            )
+        node = self._descend(vpn, SUPERPAGE_LEVEL, create=True)
+        index = level_index(vpn, SUPERPAGE_LEVEL)
+        if index in node.leaves or index in node.children:
+            raise TranslationError(
+                f"PD slot for vpn {vpn} already occupied"
+            )
+        node.leaves[index] = _LeafEntry(pfn, attributes, is_superpage=True)
+        self._mapped_superpages += 1
+
+    def unmap_page(self, vpn: int) -> Translation:
+        """Remove a 4KB mapping; returns the removed translation."""
+        self._check_vpn(vpn)
+        path = self._path_nodes(vpn, LEAF_LEVEL)
+        node = path[-1]
+        if node is None:
+            raise TranslationError(f"vpn {vpn} not mapped")
+        index = level_index(vpn, LEAF_LEVEL)
+        leaf = node.leaves.pop(index, None)
+        if leaf is None or leaf.is_superpage:
+            raise TranslationError(f"vpn {vpn} has no 4KB mapping")
+        self._mapped_pages -= 1
+        self._prune(vpn, path)
+        return Translation(vpn, leaf.pfn, leaf.attributes, is_superpage=False)
+
+    def unmap_superpage(self, vpn: int) -> Translation:
+        """Remove a 2MB mapping; returns its base translation."""
+        self._check_vpn(vpn)
+        if vpn % SUPERPAGE_PAGES != 0:
+            raise TranslationError(f"vpn {vpn} is not superpage aligned")
+        path = self._path_nodes(vpn, SUPERPAGE_LEVEL)
+        node = path[-1]
+        index = level_index(vpn, SUPERPAGE_LEVEL)
+        leaf = node.leaves.pop(index, None) if node else None
+        if leaf is None or not leaf.is_superpage:
+            raise TranslationError(f"vpn {vpn} has no superpage mapping")
+        self._mapped_superpages -= 1
+        self._prune(vpn, path)
+        return Translation(vpn, leaf.pfn, leaf.attributes, is_superpage=True)
+
+    def split_superpage(self, vpn: int) -> None:
+        """Break a 2MB mapping into 512 4KB PTEs with the same frames.
+
+        This is the THS splitting daemon's operation (Section 3.2.3). The
+        physical frames are untouched, so the 512-page physical contiguity
+        survives as *residual* base-page contiguity -- one of the paper's
+        key observations about why THS feeds CoLT even when superpages
+        don't survive.
+        """
+        base = self.unmap_superpage(vpn)
+        for offset in range(SUPERPAGE_PAGES):
+            self.map_page(vpn + offset, base.pfn + offset, base.attributes)
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+
+    def lookup(self, vpn: int) -> Optional[Translation]:
+        """Resolve ``vpn`` to a translation, or None if unmapped.
+
+        For pages inside a superpage the returned translation names the
+        exact 4KB page (``pfn`` offset into the superpage frame run) with
+        ``is_superpage=True``.
+        """
+        self._check_vpn(vpn)
+        node = self._root
+        for level in range(1, LEAF_LEVEL + 1):
+            index = level_index(vpn, level - 1)
+            leaf = node.leaves.get(index)
+            if leaf is not None and leaf.is_superpage:
+                offset = vpn % SUPERPAGE_PAGES
+                return Translation(
+                    vpn, leaf.pfn + offset, leaf.attributes, is_superpage=True
+                )
+            child = node.children.get(index)
+            if child is None:
+                return None
+            node = child
+        leaf = node.leaves.get(level_index(vpn, LEAF_LEVEL))
+        if leaf is None:
+            return None
+        return Translation(vpn, leaf.pfn, leaf.attributes, is_superpage=False)
+
+    def superpage_base(self, vpn: int) -> Optional[Translation]:
+        """If ``vpn`` lies in a superpage, its base translation; else None."""
+        base_vpn = vpn - (vpn % SUPERPAGE_PAGES)
+        node = self._path_nodes(base_vpn, SUPERPAGE_LEVEL)[-1]
+        if node is None:
+            return None
+        leaf = node.leaves.get(level_index(base_vpn, SUPERPAGE_LEVEL))
+        if leaf is None or not leaf.is_superpage:
+            return None
+        return Translation(base_vpn, leaf.pfn, leaf.attributes, is_superpage=True)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return self.lookup(vpn) is not None
+
+    def set_attributes(self, vpn: int, attributes: PageAttributes) -> None:
+        """Replace the attribute bits of an existing 4KB mapping."""
+        node = self._descend_to_pt(vpn, create=False)
+        if node is None:
+            raise TranslationError(f"vpn {vpn} not mapped")
+        leaf = node.leaves.get(level_index(vpn, LEAF_LEVEL))
+        if leaf is None:
+            raise TranslationError(f"vpn {vpn} not mapped")
+        leaf.attributes = attributes
+
+    def mark_accessed(self, vpn: int, dirty: bool = False) -> None:
+        """Set the ACCESSED (and optionally DIRTY) bit, as a walk would."""
+        node = self._descend_to_pt(vpn, create=False)
+        leaf = node.leaves.get(level_index(vpn, LEAF_LEVEL)) if node else None
+        if leaf is None:
+            base = self.superpage_base(vpn)
+            if base is None:
+                raise TranslationError(f"vpn {vpn} not mapped")
+            # Superpages keep a single A/D pair on the PDE.
+            pd = self._path_nodes(base.vpn, SUPERPAGE_LEVEL)[-1]
+            leaf = pd.leaves[level_index(base.vpn, SUPERPAGE_LEVEL)]
+        leaf.attributes |= PageAttributes.ACCESSED
+        if dirty:
+            leaf.attributes |= PageAttributes.DIRTY
+
+    # ------------------------------------------------------------------
+    # Walker support.
+    # ------------------------------------------------------------------
+
+    def walk_path_addresses(self, vpn: int) -> List[int]:
+        """Physical addresses of each table entry read by a walk of ``vpn``.
+
+        Returns one address per level actually visited (a superpage walk
+        stops at the PD, so it returns three addresses; a full walk four).
+        The walker issues these as cache accesses.
+        """
+        self._check_vpn(vpn)
+        addresses: List[int] = []
+        node = self._root
+        for level in range(LEAF_LEVEL + 1):
+            index = level_index(vpn, level)
+            addresses.append(node.entry_physical_address(index))
+            leaf = node.leaves.get(index)
+            if leaf is not None:
+                return addresses
+            child = node.children.get(index)
+            if child is None:
+                return addresses  # walk terminates at a non-present entry
+            node = child
+        return addresses
+
+    def pte_cache_line(self, vpn: int) -> Tuple[Optional[Translation], ...]:
+        """The eight translations sharing ``vpn``'s PTE cache line.
+
+        PTEs are 8 bytes and cache lines 64, so the line covers VPNs
+        ``[vpn & ~7, (vpn & ~7) + 8)``. Unmapped slots come back as None.
+        Superpage translations have no 4KB PTE line; callers should check
+        :meth:`superpage_base` first.
+        """
+        self._check_vpn(vpn)
+        line_base = vpn & ~(PTES_PER_CACHE_LINE - 1)
+        node = self._descend_to_pt(line_base, create=False)
+        result: List[Optional[Translation]] = []
+        for offset in range(PTES_PER_CACHE_LINE):
+            page_vpn = line_base + offset
+            leaf = (
+                node.leaves.get(level_index(page_vpn, LEAF_LEVEL))
+                if node is not None
+                else None
+            )
+            if leaf is None or leaf.is_superpage:
+                result.append(None)
+            else:
+                result.append(
+                    Translation(page_vpn, leaf.pfn, leaf.attributes, False)
+                )
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # Iteration (contiguity scanner).
+    # ------------------------------------------------------------------
+
+    def iter_mappings(self) -> Iterator[Translation]:
+        """Yield all leaf translations in ascending VPN order.
+
+        Superpage leaves are yielded once, as their base translation with
+        ``is_superpage=True``.
+        """
+        yield from self._iter_node(self._root, 0, 0)
+
+    def _iter_node(
+        self, node: _Node, level: int, vpn_prefix: int
+    ) -> Iterator[Translation]:
+        shift = (LEAF_LEVEL - level) * BITS_PER_LEVEL
+        for index in sorted(set(node.children) | set(node.leaves)):
+            vpn_base = vpn_prefix | (index << shift)
+            leaf = node.leaves.get(index)
+            if leaf is not None:
+                yield Translation(
+                    vpn_base, leaf.pfn, leaf.attributes, leaf.is_superpage
+                )
+            else:
+                yield from self._iter_node(
+                    node.children[index], level + 1, vpn_base
+                )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _descend(self, vpn: int, target_level: int, create: bool) -> Optional[_Node]:
+        """Walk to the node at ``target_level`` along ``vpn``'s path."""
+        node = self._root
+        for level in range(target_level):
+            index = level_index(vpn, level)
+            if index in node.leaves:
+                if not create:
+                    # A superpage leaf blocks the path; there is no PT
+                    # node below it to return.
+                    return None
+                raise TranslationError(
+                    f"vpn {vpn}: level-{level} entry is a leaf; cannot descend"
+                )
+            child = node.children.get(index)
+            if child is None:
+                if not create:
+                    return None
+                child = _Node(self._allocate_frame())
+                node.children[index] = child
+            node = child
+        return node
+
+    def _descend_to_pt(self, vpn: int, create: bool) -> Optional[_Node]:
+        return self._descend(vpn, LEAF_LEVEL, create)
+
+    def _path_nodes(self, vpn: int, target_level: int) -> List[Optional[_Node]]:
+        """Nodes along the path root..target_level (None past a hole)."""
+        nodes: List[Optional[_Node]] = [self._root]
+        node: Optional[_Node] = self._root
+        for level in range(target_level):
+            if node is None:
+                nodes.append(None)
+                continue
+            node = node.children.get(level_index(vpn, level))
+            nodes.append(node)
+        return nodes
+
+    def _prune(self, vpn: int, path: List[Optional[_Node]]) -> None:
+        """Free table nodes that became empty after an unmap."""
+        for level in range(len(path) - 1, 0, -1):
+            node = path[level]
+            if node is None or not node.is_empty:
+                break
+            parent = path[level - 1]
+            assert parent is not None
+            del parent.children[level_index(vpn, level - 1)]
+            self._release_frame(node.frame)
+
+    @staticmethod
+    def _check_vpn(vpn: int) -> None:
+        if not 0 <= vpn < (1 << VPN_BITS):
+            raise TranslationError(f"vpn {vpn} outside canonical address space")

@@ -1,0 +1,177 @@
+"""Virtual memory areas and per-process address-space layout.
+
+A process's virtual address space is a sorted collection of VMAs
+(anonymous heap/mmap regions and file-backed regions). The distinction
+matters for contiguity: Linux's Transparent Hugepage Support only backs
+*anonymous* VMAs with superpages (paper Section 6.1 -- "THS currently
+supports superpaging for only anonymous pages created through malloc
+calls"), so file-backed regions can accumulate large base-page contiguity
+that never becomes a superpage. CoLT exploits it anyway.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.common.constants import SUPERPAGE_PAGES, VPN_BITS
+from repro.common.errors import PageFaultError
+
+
+class VMAKind(enum.Enum):
+    """What backs a virtual memory area."""
+
+    ANONYMOUS = "anonymous"
+    FILE_BACKED = "file"
+
+
+@dataclass
+class VMA:
+    """One contiguous virtual memory area ``[start_vpn, end_vpn)``.
+
+    ``thp_eligible`` distinguishes mmap'd regions THS may back with
+    hugepages from brk-grown heaps that never present it a clean 2MB
+    chunk.
+    """
+
+    start_vpn: int
+    num_pages: int
+    kind: VMAKind = VMAKind.ANONYMOUS
+    name: str = ""
+    thp_eligible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start_vpn < 0 or self.num_pages < 1:
+            raise ValueError(
+                f"invalid VMA ({self.start_vpn}, {self.num_pages})"
+            )
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + self.num_pages
+
+    def contains(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+    def huge_aligned_chunks(self) -> Iterator[int]:
+        """Base VPNs of the 2MB-aligned, fully-contained chunks of this VMA.
+
+        These are the only places THS may install a superpage.
+        """
+        first = -(-self.start_vpn // SUPERPAGE_PAGES) * SUPERPAGE_PAGES
+        chunk = first
+        while chunk + SUPERPAGE_PAGES <= self.end_vpn:
+            yield chunk
+            chunk += SUPERPAGE_PAGES
+
+    def chunk_for(self, vpn: int) -> Optional[int]:
+        """The 2MB-aligned chunk base containing ``vpn``, if fully inside."""
+        base = vpn - (vpn % SUPERPAGE_PAGES)
+        if base >= self.start_vpn and base + SUPERPAGE_PAGES <= self.end_vpn:
+            return base
+        return None
+
+
+class AddressSpace:
+    """Sorted, non-overlapping collection of VMAs with mmap-style layout.
+
+    New mappings are placed by a bump pointer starting at ``mmap_base``
+    with a small guard gap between regions (mirroring the guard pages and
+    alignment padding a real mmap leaves), so virtual addresses are
+    realistic but deterministic.
+    """
+
+    #: Default first VPN handed to mmap (0x0000_1000_0000 >> 12 area).
+    DEFAULT_MMAP_BASE = 0x10_0000
+
+    #: Unmapped guard pages left between consecutive mmap regions.
+    GUARD_PAGES = 1
+
+    def __init__(self, mmap_base: int = DEFAULT_MMAP_BASE) -> None:
+        self._vmas: List[VMA] = []
+        self._starts: List[int] = []
+        self._bump = mmap_base
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def __iter__(self) -> Iterator[VMA]:
+        return iter(self._vmas)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(vma.num_pages for vma in self._vmas)
+
+    def find(self, vpn: int) -> Optional[VMA]:
+        """The VMA containing ``vpn``, or None (an access here faults)."""
+        idx = bisect.bisect_right(self._starts, vpn) - 1
+        if idx >= 0 and self._vmas[idx].contains(vpn):
+            return self._vmas[idx]
+        return None
+
+    def require(self, vpn: int) -> VMA:
+        vma = self.find(vpn)
+        if vma is None:
+            raise PageFaultError(f"access to unmapped vpn {vpn} (SIGSEGV)")
+        return vma
+
+    def map(
+        self,
+        num_pages: int,
+        kind: VMAKind = VMAKind.ANONYMOUS,
+        name: str = "",
+        align_huge: bool = False,
+        thp_eligible: bool = True,
+    ) -> VMA:
+        """Create a new VMA of ``num_pages``, returning it.
+
+        Args:
+            align_huge: start the region on a 2MB boundary, as allocators
+                that cooperate with THS (e.g. glibc's large-malloc path
+                via mmap) tend to do.
+        """
+        start = self._bump
+        if align_huge and start % SUPERPAGE_PAGES:
+            start += SUPERPAGE_PAGES - (start % SUPERPAGE_PAGES)
+        if start + num_pages >= (1 << VPN_BITS):
+            raise PageFaultError("virtual address space exhausted")
+        vma = VMA(start, num_pages, kind, name, thp_eligible)
+        self._insert(vma)
+        self._bump = vma.end_vpn + self.GUARD_PAGES
+        return vma
+
+    def map_fixed(
+        self,
+        start_vpn: int,
+        num_pages: int,
+        kind: VMAKind = VMAKind.ANONYMOUS,
+        name: str = "",
+    ) -> VMA:
+        """Create a VMA at a caller-chosen address (MAP_FIXED)."""
+        vma = VMA(start_vpn, num_pages, kind, name)
+        for existing in self._vmas:
+            if not (
+                vma.end_vpn <= existing.start_vpn
+                or existing.end_vpn <= vma.start_vpn
+            ):
+                raise PageFaultError(
+                    f"MAP_FIXED overlap with existing VMA at {existing.start_vpn}"
+                )
+        self._insert(vma)
+        self._bump = max(self._bump, vma.end_vpn + self.GUARD_PAGES)
+        return vma
+
+    def unmap(self, vma: VMA) -> None:
+        """Remove a VMA (the kernel frees its frames separately)."""
+        idx = bisect.bisect_left(self._starts, vma.start_vpn)
+        if idx >= len(self._vmas) or self._vmas[idx] is not vma:
+            raise PageFaultError(f"VMA at {vma.start_vpn} not in address space")
+        del self._vmas[idx]
+        del self._starts[idx]
+
+    def _insert(self, vma: VMA) -> None:
+        idx = bisect.bisect_left(self._starts, vma.start_vpn)
+        self._vmas.insert(idx, vma)
+        self._starts.insert(idx, vma.start_vpn)

@@ -1,0 +1,28 @@
+"""Full-system simulation: configs, the simulator, runners, metrics."""
+
+from repro.sim.metrics import (
+    EliminationRow,
+    PerformanceRow,
+    elimination_row,
+    performance_row,
+)
+from repro.sim.runner import STANDARD_DESIGNS, ExperimentRunner
+from repro.sim.system import (
+    SimulationConfig,
+    SimulationResult,
+    SystemSimulator,
+    simulate,
+)
+
+__all__ = [
+    "EliminationRow",
+    "ExperimentRunner",
+    "PerformanceRow",
+    "STANDARD_DESIGNS",
+    "SimulationConfig",
+    "SimulationResult",
+    "SystemSimulator",
+    "elimination_row",
+    "performance_row",
+    "simulate",
+]

@@ -1,0 +1,71 @@
+"""Comparison metrics across designs: the numbers the figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.common.statistics import percent_eliminated
+from repro.core.mmu import CoLTDesign
+from repro.sim.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class EliminationRow:
+    """Per-benchmark miss-elimination percentages (Figures 18-20)."""
+
+    benchmark: str
+    design: str
+    l1_eliminated_pct: float
+    l2_eliminated_pct: float
+
+
+@dataclass(frozen=True)
+class PerformanceRow:
+    """Per-benchmark runtime improvement over baseline (Figure 21)."""
+
+    benchmark: str
+    design: str
+    improvement_pct: float
+
+
+def elimination_row(
+    baseline: SimulationResult, variant: SimulationResult
+) -> EliminationRow:
+    """Fraction of the baseline's TLB misses a variant eliminates."""
+    return EliminationRow(
+        benchmark=baseline.profile.name,
+        design=variant.config.design.value,
+        l1_eliminated_pct=percent_eliminated(
+            baseline.l1_misses, variant.l1_misses
+        ),
+        l2_eliminated_pct=percent_eliminated(
+            baseline.l2_misses, variant.l2_misses
+        ),
+    )
+
+
+def performance_row(
+    baseline: SimulationResult, variant: SimulationResult
+) -> PerformanceRow:
+    """Runtime improvement of a variant over the baseline design."""
+    if variant.config.design is CoLTDesign.PERFECT:
+        improvement = variant.perfect_performance.improvement_over(
+            baseline.performance
+        )
+    else:
+        improvement = variant.performance.improvement_over(
+            baseline.performance
+        )
+    return PerformanceRow(
+        benchmark=baseline.profile.name,
+        design=variant.config.design.value,
+        improvement_pct=improvement,
+    )
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,90 @@
+"""Experiment runner: sweep designs/configs for one or many benchmarks.
+
+The runner executes the same (seeded, therefore identical) OS-and-trace
+scenario under several TLB designs and assembles the comparison rows the
+paper's figures plot. Results are memoised per process so that, e.g.,
+Figure 21 reuses the runs Figure 18 already performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.mmu import CoLTDesign, MMUConfig
+from repro.sim.metrics import EliminationRow, PerformanceRow, elimination_row, performance_row
+from repro.sim.system import SimulationConfig, SimulationResult, simulate
+
+#: The design set of Figures 18 and 21.
+STANDARD_DESIGNS: Tuple[CoLTDesign, ...] = (
+    CoLTDesign.BASELINE,
+    CoLTDesign.COLT_SA,
+    CoLTDesign.COLT_FA,
+    CoLTDesign.COLT_ALL,
+)
+
+
+class ExperimentRunner:
+    """Runs and caches simulations keyed by their full configuration."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[SimulationConfig, SimulationResult] = {}
+
+    def run(self, config: SimulationConfig) -> SimulationResult:
+        if config not in self._cache:
+            self._cache[config] = simulate(config)
+        return self._cache[config]
+
+    def run_designs(
+        self,
+        base: SimulationConfig,
+        designs: Sequence[CoLTDesign] = STANDARD_DESIGNS,
+        mmu_overrides: Optional[Dict[CoLTDesign, MMUConfig]] = None,
+    ) -> Dict[CoLTDesign, SimulationResult]:
+        """Run the same scenario under each design."""
+        results = {}
+        for design in designs:
+            config = base.with_updates(
+                design=design,
+                mmu=(mmu_overrides or {}).get(design),
+            )
+            results[design] = self.run(config)
+        return results
+
+    def eliminations(
+        self,
+        base: SimulationConfig,
+        designs: Sequence[CoLTDesign] = (
+            CoLTDesign.COLT_SA,
+            CoLTDesign.COLT_FA,
+            CoLTDesign.COLT_ALL,
+        ),
+    ) -> List[EliminationRow]:
+        """Figure 18-style rows: % of baseline misses eliminated."""
+        all_designs = (CoLTDesign.BASELINE,) + tuple(designs)
+        results = self.run_designs(base, all_designs)
+        baseline = results[CoLTDesign.BASELINE]
+        return [
+            elimination_row(baseline, results[design]) for design in designs
+        ]
+
+    def performance_improvements(
+        self,
+        base: SimulationConfig,
+        designs: Sequence[CoLTDesign] = (
+            CoLTDesign.PERFECT,
+            CoLTDesign.COLT_SA,
+            CoLTDesign.COLT_FA,
+            CoLTDesign.COLT_ALL,
+        ),
+    ) -> List[PerformanceRow]:
+        """Figure 21-style rows: runtime improvement over baseline."""
+        all_designs = (CoLTDesign.BASELINE,) + tuple(designs)
+        results = self.run_designs(base, all_designs)
+        baseline = results[CoLTDesign.BASELINE]
+        return [
+            performance_row(baseline, results[design]) for design in designs
+        ]
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,325 @@
+"""Full-system simulation: OS substrate + workload + MMU, end to end.
+
+``SystemSimulator`` reproduces the paper's methodology (Section 5.2) in
+one object:
+
+1. boot a kernel with the chosen THS/defrag configuration, age it like a
+   long-running machine, optionally start memhog (Section 5.1.1's system
+   configurations);
+2. create the benchmark process, execute its memory plan (up-front
+   mallocs populate eagerly; other regions fault on demand), and
+   generate its access trace from the profile's phase mixture;
+3. stream the trace through the MMU of the configured CoLT design, with
+   OS activity (demand faults, background churn, compaction ticks, THP
+   splits, reclaim) interleaved and TLB shootdowns propagated.
+
+Because the OS evolution is deterministic in the seed and independent of
+the TLB design, running the same configuration with different designs
+yields identical page tables and traces -- the comparisons of Figures
+18-21 are therefore apples-to-apples, exactly like the paper's replayed
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.rng import SeedSequencer
+from repro.common.statistics import CounterSnapshot
+from repro.contiguity.scanner import ContiguityReport
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.mmu_cache import MMUCache, MMUCacheConfig
+from repro.core.mmu import MMU, CoLTDesign, MMUConfig, make_mmu_config
+from repro.core.performance import (
+    CoreModel,
+    PerformanceResult,
+    evaluate_performance,
+    perfect_tlb_result,
+)
+from repro.osmem.kernel import Kernel, KernelConfig
+from repro.osmem.memhog import AgingProfile, Memhog, age_system
+from repro.osmem.process import Process
+from repro.walker.page_walker import PageWalker
+from repro.workloads.benchmarks import BenchmarkProfile, get_benchmark
+from repro.workloads.trace import Trace, generate_trace, scaled_region_pages
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one simulated run depends on.
+
+    Attributes:
+        benchmark: profile name (see ``repro.workloads.BENCHMARKS``).
+        design: TLB organisation to simulate.
+        kernel: kernel configuration (THS / defrag / memory size / seed).
+        memhog_fraction: 0 disables memhog; 0.25 / 0.50 reproduce the
+            paper's load studies (Sections 6.4-6.5).
+        accesses: length of the access trace.
+        scale: footprint scale factor applied to region sizes.
+        seed: root seed for workload and churn randomness.
+        mmu: explicit MMU configuration; None derives the paper-standard
+            one for ``design`` via :func:`make_mmu_config`.
+        aging: aging profile; None skips aging (pristine machine).
+        tick_every: accesses between kernel background ticks.
+        churn_every: accesses between background-process allocations
+            during the run (0 disables). Live-system churn competes with
+            the benchmark for buddy blocks, which is what keeps demand
+            -faulted contiguity at realistic levels.
+        churn_pages: size of each churn allocation.
+        churn_live_limit: live churn allocations before the oldest is
+            freed.
+        llc_pollution_per_access: expected LLC lines evicted per access
+            by the benchmark's data traffic (a proxy for routing every
+            load/store through the cache model).
+    """
+
+    benchmark: str = "mcf"
+    design: CoLTDesign = CoLTDesign.BASELINE
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    memhog_fraction: float = 0.0
+    accesses: int = 200_000
+    scale: float = 1.0
+    seed: int = 42
+    mmu: Optional[MMUConfig] = None
+    aging: Optional[AgingProfile] = field(default_factory=AgingProfile)
+    tick_every: int = 2_000
+    churn_every: int = 48
+    churn_pages: int = 24
+    churn_live_limit: int = 32
+    llc_pollution_per_access: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.accesses < 1:
+            raise ConfigurationError("accesses must be >= 1")
+        if not 0.0 <= self.memhog_fraction < 1.0:
+            raise ConfigurationError("memhog_fraction must be in [0, 1)")
+
+    def with_updates(self, **kwargs) -> "SimulationConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class SimulationResult:
+    """Outputs of one run."""
+
+    config: SimulationConfig
+    profile: BenchmarkProfile
+    accesses: int
+    l1_misses: int
+    l2_misses: int
+    mmu_counters: CounterSnapshot
+    kernel_counters: CounterSnapshot
+    performance: PerformanceResult
+    perfect_performance: PerformanceResult
+    contiguity: ContiguityReport
+    trace_unique_pages: int
+
+    @property
+    def l1_mpmi(self) -> float:
+        return self.l1_misses * 1e6 / self.performance.instructions
+
+    @property
+    def l2_mpmi(self) -> float:
+        return self.l2_misses * 1e6 / self.performance.instructions
+
+    @property
+    def average_contiguity(self) -> float:
+        return self.contiguity.average_contiguity
+
+    def summary(self) -> str:
+        cfg = self.config
+        return (
+            f"{self.profile.name} [{cfg.design.value}] "
+            f"THS={'on' if cfg.kernel.ths_enabled else 'off'} "
+            f"defrag={'on' if cfg.kernel.defrag_enabled else 'off'} "
+            f"memhog={cfg.memhog_fraction:.0%}: "
+            f"L1 MPMI {self.l1_mpmi:.0f}, L2 MPMI {self.l2_mpmi:.0f}, "
+            f"avg contiguity {self.average_contiguity:.1f}, "
+            f"CPI {self.performance.cpi:.3f}"
+        )
+
+
+class SystemSimulator:
+    """Boots, loads, and runs one configuration end to end."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.profile = get_benchmark(config.benchmark)
+        self._seeds = SeedSequencer(config.seed)
+        self.kernel: Optional[Kernel] = None
+        self.process: Optional[Process] = None
+        self.mmu: Optional[MMU] = None
+        self.trace: Optional[Trace] = None
+        self._daemons: List[Process] = []
+
+    # ------------------------------------------------------------------
+    # Phase 1-2: boot + load.
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Boot the kernel, age it, start memhog, lay out the benchmark."""
+        config = self.config
+        self.kernel = Kernel(config.kernel)
+        if config.aging is not None:
+            self._daemons = age_system(self.kernel, self._seeds, config.aging)
+        else:
+            daemon = self.kernel.create_process("background0", fault_batch=4)
+            self.kernel.register_reclaim_victim(daemon)
+            self._daemons = [daemon]
+        if config.memhog_fraction > 0:
+            Memhog(self.kernel, config.memhog_fraction, self._seeds).start()
+
+        self.process = self.kernel.create_process(self.profile.name)
+        pages = scaled_region_pages(self.profile, config.scale)
+        bases: Dict[str, int] = {}
+        for region in self.profile.regions:
+            vma = self.kernel.malloc(
+                self.process,
+                pages[region.name],
+                name=region.name,
+                populate=region.populate,
+                kind=region.kind,
+                thp_eligible=region.thp_eligible,
+                populate_batch=region.fault_batch,
+            )
+            bases[region.name] = vma.start_vpn
+        self.trace = generate_trace(
+            self.profile,
+            bases,
+            config.accesses,
+            self._seeds.rng("trace"),
+            scale=config.scale,
+        )
+        self._region_fault_batch = {
+            bases[r.name]: r.fault_batch for r in self.profile.regions
+        }
+        self._region_bounds = sorted(
+            (bases[r.name], bases[r.name] + pages[r.name], r.fault_batch)
+            for r in self.profile.regions
+        )
+        self.mmu = self._build_mmu()
+
+    def _build_mmu(self) -> MMU:
+        config = self.config
+        mmu_config = config.mmu or make_mmu_config(config.design)
+        caches = CacheHierarchy(HierarchyConfig())
+        walker = PageWalker(self.process.page_table, caches, MMUCache())
+        mmu = MMU(mmu_config, walker)
+
+        bench_pid = self.process.pid
+
+        def on_invalidation(pid: int, start_vpn: int, count: int) -> None:
+            if pid == bench_pid:
+                mmu.invalidate_range(start_vpn, count)
+
+        self.kernel.add_invalidation_listener(on_invalidation)
+        self._caches = caches
+        return mmu
+
+    def _fault_batch_for(self, vpn: int) -> int:
+        for start, end, batch in self._region_bounds:
+            if start <= vpn < end:
+                return batch
+        return self.process.fault_batch
+
+    # ------------------------------------------------------------------
+    # Phase 3: the run.
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the access stream; returns the collected results."""
+        if self.kernel is None:
+            self.prepare()
+        config = self.config
+        kernel = self.kernel
+        process = self.process
+        mmu = self.mmu
+        trace = self.trace
+
+        churn_rng = self._seeds.rng("run.churn")
+        live_churn: List = []
+        pollution_budget = 0.0
+        is_populated = process.is_populated
+        access = mmu.access
+        pollute = self._pollute_llc
+
+        for index, vpn in enumerate(trace.vpns):
+            vpn = int(vpn)
+            if not is_populated(vpn):
+                # Demand fault, at this region's allocator granularity.
+                process.fault_batch = self._fault_batch_for(vpn)
+                kernel.touch(process, vpn)
+            access(vpn)
+            pollution_budget += config.llc_pollution_per_access
+            if pollution_budget >= 1.0:
+                pollute(int(pollution_budget))
+                pollution_budget -= int(pollution_budget)
+            if config.churn_every and index % config.churn_every == 0:
+                self._background_churn(churn_rng, live_churn)
+            if index % config.tick_every == 0:
+                kernel.tick()
+
+        # Discount the DRAM cost of compulsory PTE-line fetches: every
+        # design pays them once per distinct line, and at the paper's
+        # trace lengths they are negligible (see repro.core.performance).
+        import numpy as np  # local import keeps module load light
+        distinct_lines = int(np.unique(trace.vpns >> 3).size)
+        discount = float(
+            distinct_lines * self._caches.config.dram_latency
+        )
+        performance = evaluate_performance(
+            mmu,
+            len(trace.vpns),
+            self.profile.core,
+            compulsory_discount_cycles=discount,
+        )
+        return SimulationResult(
+            config=config,
+            profile=self.profile,
+            accesses=len(trace.vpns),
+            l1_misses=mmu.l1_misses,
+            l2_misses=mmu.l2_misses,
+            mmu_counters=mmu.counters.snapshot(),
+            kernel_counters=kernel.counters.snapshot(),
+            performance=performance,
+            perfect_performance=perfect_tlb_result(
+                len(trace.vpns), self.profile.core
+            ),
+            contiguity=ContiguityReport.from_process(process),
+            trace_unique_pages=trace.unique_pages,
+        )
+
+    def _background_churn(self, rng: np.random.Generator, live: List) -> None:
+        """One beat of live-system allocation activity during the run."""
+        daemon = self._daemons[int(rng.integers(len(self._daemons)))]
+        pages = max(1, int(self.config.churn_pages * (0.5 + rng.random())))
+        try:
+            vma = daemon_vma = self.kernel.malloc(
+                daemon, pages, name="live_churn", populate=True
+            )
+        except OutOfMemoryError:
+            return
+        live.append((daemon, daemon_vma))
+        while len(live) > self.config.churn_live_limit:
+            victim_daemon, victim_vma = live.pop(0)
+            self.kernel.free_vma(victim_daemon, victim_vma)
+
+    def _pollute_llc(self, lines: int) -> None:
+        """Model the data stream's LLC pressure on PTE lines."""
+        llc = self._caches.llc
+        for _ in range(lines):
+            self._pollution_cursor = (
+                getattr(self, "_pollution_cursor", 0) + 101
+            ) % llc.num_sets
+            llc.evict_lru_of_set(self._pollution_cursor)
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """One-call convenience wrapper: prepare + run."""
+    simulator = SystemSimulator(config)
+    simulator.prepare()
+    return simulator.run()

@@ -1,0 +1,22 @@
+"""TLB structures: set-associative, fully-associative, and their entries."""
+
+from repro.tlb.config import (
+    FullyAssociativeTLBConfig,
+    SetAssociativeTLBConfig,
+    default_l1_config,
+    default_l2_config,
+)
+from repro.tlb.entries import CoalescedEntry, RangeEntry
+from repro.tlb.fully_associative import FullyAssociativeTLB
+from repro.tlb.set_associative import SetAssociativeTLB
+
+__all__ = [
+    "CoalescedEntry",
+    "FullyAssociativeTLB",
+    "FullyAssociativeTLBConfig",
+    "RangeEntry",
+    "SetAssociativeTLB",
+    "SetAssociativeTLBConfig",
+    "default_l1_config",
+    "default_l2_config",
+]

@@ -1,0 +1,120 @@
+"""Configuration dataclasses for the TLB hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    COLT_FA_MAX_SPAN,
+    DEFAULT_L1_TLB_ENTRIES,
+    DEFAULT_L1_TLB_WAYS,
+    DEFAULT_L2_TLB_ENTRIES,
+    DEFAULT_L2_TLB_WAYS,
+    DEFAULT_SUPERPAGE_TLB_ENTRIES,
+)
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SetAssociativeTLBConfig:
+    """Geometry of a set-associative TLB.
+
+    Attributes:
+        entries: total entry count.
+        ways: associativity.
+        index_shift: CoLT-SA's left shift of the set-index bits
+            (Section 4.1.2). ``0`` is a conventional TLB; shift ``k``
+            maps groups of ``2**k`` consecutive VPNs to the same set and
+            allows up to ``2**k`` translations per entry.
+        graceful_invalidation: the paper's Section 4.1.5 future-work
+            idea: instead of flushing a whole coalesced entry on a
+            single-page shootdown, shrink it around the victim page.
+        coalescing_aware_replacement: the other Section 4.1.5 idea:
+            prefer evicting entries that coalesce fewer translations.
+        name: label used in counters/reporting.
+    """
+
+    entries: int
+    ways: int
+    index_shift: int = 0
+    graceful_invalidation: bool = False
+    coalescing_aware_replacement: bool = False
+    name: str = "tlb"
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.ways < 1:
+            raise ConfigurationError(f"invalid TLB geometry {self}")
+        if self.entries % self.ways != 0:
+            raise ConfigurationError(
+                f"{self.name}: {self.entries} entries not divisible by "
+                f"{self.ways} ways"
+            )
+        num_sets = self.entries // self.ways
+        if num_sets & (num_sets - 1):
+            raise ConfigurationError(
+                f"{self.name}: set count {num_sets} must be a power of two"
+            )
+        if not 0 <= self.index_shift <= 3:
+            # The coalescing window is one 8-PTE cache line, so shifts
+            # beyond 3 (group size 8) buy nothing (Section 4.1.4).
+            raise ConfigurationError(
+                f"index_shift must be in [0, 3], got {self.index_shift}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.ways
+
+    @property
+    def group_size(self) -> int:
+        """Consecutive VPNs mapping to one set (= max coalescing)."""
+        return 1 << self.index_shift
+
+
+@dataclass(frozen=True)
+class FullyAssociativeTLBConfig:
+    """Geometry of the fully-associative (superpage / CoLT-FA) TLB.
+
+    Attributes:
+        entries: entry count (16 baseline; 8 for CoLT-FA/All,
+            Section 4.2.4's conservative sizing).
+        allow_coalesced: accept coalesced base-page range entries, not
+            just superpages (True for CoLT-FA / CoLT-All).
+        merge_on_insert: attempt insertion-time merging with resident
+            entries (Section 4.2.1's secondary coalescing).
+        max_span: capacity of the coalescing-length field.
+        graceful_invalidation: shrink/split range entries around an
+            invalidated page instead of dropping them (Section 4.2.3
+            notes whole-entry invalidation hurts more "for larger
+            amounts of coalescing" -- this is the obvious fix).
+        name: label used in counters/reporting.
+    """
+
+    entries: int = DEFAULT_SUPERPAGE_TLB_ENTRIES
+    allow_coalesced: bool = False
+    merge_on_insert: bool = False
+    max_span: int = COLT_FA_MAX_SPAN
+    graceful_invalidation: bool = False
+    name: str = "sp_tlb"
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ConfigurationError("FA TLB needs >= 1 entry")
+        if self.max_span < 8:
+            raise ConfigurationError("max_span must cover a cache line (8)")
+
+
+def default_l1_config(index_shift: int = 0) -> SetAssociativeTLBConfig:
+    """Paper's simulated L1: 32-entry, 4-way (Section 5.2.1)."""
+    return SetAssociativeTLBConfig(
+        DEFAULT_L1_TLB_ENTRIES, DEFAULT_L1_TLB_WAYS, index_shift, name="l1_tlb"
+    )
+
+
+def default_l2_config(
+    index_shift: int = 0, ways: int = DEFAULT_L2_TLB_WAYS
+) -> SetAssociativeTLBConfig:
+    """Paper's simulated L2: 128-entry, 4-way (8-way in Figure 20)."""
+    return SetAssociativeTLBConfig(
+        DEFAULT_L2_TLB_ENTRIES, ways, index_shift, name="l2_tlb"
+    )

@@ -1,0 +1,5 @@
+"""Page-table walker: TLB-miss resolution through the memory hierarchy."""
+
+from repro.walker.page_walker import PageWalker
+
+__all__ = ["PageWalker"]

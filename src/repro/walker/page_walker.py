@@ -1,0 +1,101 @@
+"""Hardware page-table walker.
+
+On a TLB miss the walker resolves the translation by reading page-table
+entries through the memory hierarchy, accelerated by the MMU page-walk
+cache (paper Section 5.2.1). Its result also carries the *coalescing
+window*: the eight PTEs sharing the final fetch's 64-byte cache line,
+which are the only translations CoLT's coalescing logic may examine
+without issuing extra memory references (Section 4.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import TranslationError
+from repro.common.statistics import CounterSet
+from repro.common.types import Translation, WalkResult
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mmu_cache import MMUCache
+from repro.osmem.page_table import PageTable
+
+
+class PageWalker:
+    """Walks one process's page table through the cache hierarchy."""
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        caches: CacheHierarchy,
+        mmu_cache: Optional[MMUCache] = None,
+    ) -> None:
+        self._page_table = page_table
+        self._caches = caches
+        self._mmu_cache = mmu_cache
+        self.counters = CounterSet(
+            ["walks", "levels_fetched", "total_latency", "superpage_walks"]
+        )
+
+    @property
+    def page_table(self) -> PageTable:
+        return self._page_table
+
+    @property
+    def mmu_cache(self) -> Optional[MMUCache]:
+        return self._mmu_cache
+
+    def retarget(self, page_table: PageTable) -> None:
+        """Point the walker at a different process (context switch)."""
+        self._page_table = page_table
+        if self._mmu_cache is not None:
+            self._mmu_cache.invalidate_all()
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Resolve ``vpn``; returns translation + cache-line neighbours.
+
+        Raises:
+            TranslationError: the page is not mapped. The simulator
+                always faults pages in before issuing accesses, so a
+                failed walk indicates a bug, not demand paging.
+        """
+        translation = self._page_table.lookup(vpn)
+        if translation is None:
+            raise TranslationError(f"walk of unmapped vpn {vpn}")
+        self.counters.increment("walks")
+
+        path = self._page_table.walk_path_addresses(vpn)
+        start_level = 0
+        latency = 0
+        if self._mmu_cache is not None:
+            latency += self._mmu_cache.config.latency
+            deepest = self._mmu_cache.deepest_cached_level(vpn)
+            if deepest is not None:
+                # A level-N entry points at the level-N+1 node: the walk
+                # resumes at the next fetch.
+                start_level = min(deepest + 1, len(path) - 1)
+
+        fetched = 0
+        for address in path[start_level:]:
+            latency += self._caches.access_pte(address)
+            fetched += 1
+        if self._mmu_cache is not None:
+            self._mmu_cache.fill_walk(vpn, levels_visited=len(path))
+
+        if translation.is_superpage:
+            self.counters.increment("superpage_walks")
+            line = ()
+        else:
+            line = tuple(
+                t
+                for t in self._page_table.pte_cache_line(vpn)
+                if t is not None
+            )
+        self.counters.increment("levels_fetched", fetched)
+        self.counters.increment("total_latency", latency)
+        return WalkResult(
+            translation=translation,
+            cache_line_translations=line,
+            latency=latency,
+            memory_accesses=fetched,
+        )

@@ -1,0 +1,29 @@
+"""Workload models: pattern primitives, benchmark profiles, traces."""
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    TABLE1_ORDER,
+    TABLE1_PAPER_MPMI,
+    BenchmarkProfile,
+    RegionSpec,
+    all_benchmarks,
+    get_benchmark,
+)
+from repro.workloads.patterns import PATTERNS, PhaseSpec, generate_phase
+from repro.workloads.trace import Trace, generate_trace, scaled_region_pages
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "PATTERNS",
+    "PhaseSpec",
+    "RegionSpec",
+    "TABLE1_ORDER",
+    "TABLE1_PAPER_MPMI",
+    "Trace",
+    "all_benchmarks",
+    "generate_phase",
+    "generate_trace",
+    "get_benchmark",
+    "scaled_region_pages",
+]

@@ -1,0 +1,190 @@
+"""Access-pattern primitives for synthetic benchmark models.
+
+Each generator produces a numpy array of page *offsets* within a region;
+the system simulator adds the region's runtime base VPN. The five
+primitives span the locality spectrum the paper's benchmarks cover:
+
+* ``sequential`` -- streaming sweeps (milc's lattice, bzip2's blocks);
+  maximal spatial locality, the best case for coalesced entries.
+* ``strided`` -- fixed-stride traversals (stencils such as CactusADM).
+* ``random`` -- uniform references over the footprint (hash tables);
+  spatial locality only by accident.
+* ``zipf`` -- skewed working-set reuse (gobmk, povray); a configurable
+  fraction of accesses concentrates on a hot subset of pages.
+* ``pointer_chase`` -- a fixed random permutation cycle (mcf's lists,
+  mummer's suffix trees): strong temporal regularity, no spatial
+  locality, the worst case for coalescing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+
+#: Registry of generator callables, keyed by pattern name.
+PATTERNS = {}
+
+
+def _register(name):
+    def wrap(fn):
+        PATTERNS[name] = fn
+        return fn
+
+    return wrap
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a benchmark's access behaviour.
+
+    Attributes:
+        pattern: one of :data:`PATTERNS`.
+        region: name of the region the phase touches.
+        weight: share of the benchmark's accesses spent in this phase.
+        accesses_per_page: consecutive references issued to a page before
+            moving on (spatial density; higher values lower the MPMI).
+        stride: page stride for the ``strided`` pattern.
+        hot_fraction: for ``zipf``: fraction of the region that is hot.
+        hot_weight: for ``zipf``: fraction of accesses landing on the hot
+            subset.
+        sweep_fraction: fraction of the region a ``sequential`` sweep
+            covers before wrapping.
+        region_offset: rotate the phase's footprint by this fraction of
+            the region. Lets a hot/mid working set live at the *end* of a
+            region (e.g. the most recently grown part of a heap) instead
+            of the start.
+    """
+
+    pattern: str
+    region: str
+    weight: float = 1.0
+    accesses_per_page: int = 4
+    stride: int = 8
+    hot_fraction: float = 0.1
+    hot_weight: float = 0.9
+    sweep_fraction: float = 1.0
+    region_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise WorkloadError(
+                f"unknown pattern {self.pattern!r}; known: {sorted(PATTERNS)}"
+            )
+        if self.weight <= 0:
+            raise WorkloadError("phase weight must be positive")
+        if self.accesses_per_page < 1:
+            raise WorkloadError("accesses_per_page must be >= 1")
+
+
+def generate_phase(
+    spec: PhaseSpec,
+    region_pages: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate ``count`` page offsets for one phase."""
+    if region_pages < 1:
+        raise WorkloadError("region must have at least one page")
+    if count < 1:
+        return np.empty(0, dtype=np.int64)
+    offsets = PATTERNS[spec.pattern](spec, region_pages, count, rng)
+    if spec.region_offset:
+        shift = int(spec.region_offset * region_pages)
+        offsets = (offsets + shift) % region_pages
+    return offsets
+
+
+def _densify(pages: np.ndarray, accesses_per_page: int) -> np.ndarray:
+    """Repeat each page reference ``accesses_per_page`` times in place."""
+    if accesses_per_page == 1:
+        return pages
+    return np.repeat(pages, accesses_per_page)
+
+
+@_register("sequential")
+def _sequential(spec, region_pages, count, rng):
+    span = max(1, int(region_pages * spec.sweep_fraction))
+    unique = -(-count // spec.accesses_per_page)  # ceil division
+    start = int(rng.integers(0, region_pages))
+    pages = (start + np.arange(unique, dtype=np.int64)) % span
+    return _densify(pages, spec.accesses_per_page)[:count]
+
+
+@_register("strided")
+def _strided(spec, region_pages, count, rng):
+    unique = -(-count // spec.accesses_per_page)
+    start = int(rng.integers(0, region_pages))
+    pages = (start + spec.stride * np.arange(unique, dtype=np.int64)) % region_pages
+    return _densify(pages, spec.accesses_per_page)[:count]
+
+
+@_register("random")
+def _random(spec, region_pages, count, rng):
+    unique = -(-count // spec.accesses_per_page)
+    pages = rng.integers(0, region_pages, size=unique, dtype=np.int64)
+    return _densify(pages, spec.accesses_per_page)[:count]
+
+
+@_register("zipf")
+def _zipf(spec, region_pages, count, rng):
+    unique = -(-count // spec.accesses_per_page)
+    hot_pages = max(1, int(region_pages * spec.hot_fraction))
+    is_hot = rng.random(unique) < spec.hot_weight
+    hot = rng.integers(0, hot_pages, size=unique, dtype=np.int64)
+    cold = rng.integers(0, region_pages, size=unique, dtype=np.int64)
+    pages = np.where(is_hot, hot, cold)
+    return _densify(pages, spec.accesses_per_page)[:count]
+
+
+@_register("pointer_chase")
+def _pointer_chase(spec, region_pages, count, rng):
+    unique = -(-count // spec.accesses_per_page)
+    # One fixed random permutation, walked cyclically: every page is
+    # revisited at a fixed period (temporal regularity) but neighbours in
+    # time are never neighbours in space.
+    order = rng.permutation(region_pages).astype(np.int64)
+    reps = -(-unique // region_pages)
+    pages = np.tile(order, reps)[:unique]
+    return _densify(pages, spec.accesses_per_page)[:count]
+
+
+def interleave_phases(
+    streams: Dict[int, np.ndarray],
+    weights: Dict[int, float],
+    total: int,
+    rng: np.random.Generator,
+    chunk: int = 256,
+) -> np.ndarray:
+    """Interleave per-phase streams into one trace of ``total`` entries.
+
+    Phases alternate in ``chunk``-sized bursts chosen with probability
+    proportional to weight -- coarse-grained phase interleaving, like a
+    program alternating between data structures, rather than per-access
+    shuffling (which would destroy each pattern's locality).
+
+    ``streams[i]`` must hold at least ``weights``-share of ``total``
+    entries; any surplus is ignored.
+    """
+    ids = sorted(streams)
+    weight_arr = np.array([weights[i] for i in ids], dtype=float)
+    weight_arr = weight_arr / weight_arr.sum()
+    positions = {i: 0 for i in ids}
+    out = np.empty(total, dtype=np.int64)
+    filled = 0
+    while filled < total:
+        phase = ids[int(rng.choice(len(ids), p=weight_arr))]
+        stream = streams[phase]
+        pos = positions[phase]
+        take = min(chunk, total - filled, len(stream) - pos)
+        if take <= 0:
+            # Stream exhausted: wrap around (patterns are cyclic anyway).
+            positions[phase] = 0
+            continue
+        out[filled : filled + take] = stream[pos : pos + take]
+        positions[phase] = pos + take
+        filled += take
+    return out

@@ -1,0 +1,130 @@
+"""Trace generation and replay.
+
+A trace is the page-granular access stream of one benchmark run: a numpy
+array of virtual page numbers (plus the mapping from the profile's named
+regions to their runtime base VPNs). Traces can be generated directly
+from a :class:`~repro.workloads.benchmarks.BenchmarkProfile`, saved to
+``.npz`` and replayed later -- mirroring the paper's trace-driven
+methodology (its Simics traces play the role our generated traces play).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+from repro.workloads.benchmarks import BenchmarkProfile
+from repro.workloads.patterns import generate_phase, interleave_phases
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A generated access stream.
+
+    Attributes:
+        benchmark: profile name the trace came from.
+        vpns: the access stream, one VPN per reference.
+        region_bases: region name -> base VPN used during generation.
+        region_pages: region name -> scaled page count.
+    """
+
+    benchmark: str
+    vpns: np.ndarray
+    region_bases: Dict[str, int]
+    region_pages: Dict[str, int]
+
+    def __post_init__(self) -> None:
+        if self.vpns.ndim != 1:
+            raise WorkloadError("trace must be a 1-D VPN array")
+
+    def __len__(self) -> int:
+        return len(self.vpns)
+
+    @property
+    def unique_pages(self) -> int:
+        return int(np.unique(self.vpns).size)
+
+    def save(self, path: Path) -> None:
+        """Persist to an .npz archive."""
+        np.savez_compressed(
+            path,
+            vpns=self.vpns,
+            meta=np.frombuffer(
+                json.dumps(
+                    {
+                        "benchmark": self.benchmark,
+                        "region_bases": self.region_bases,
+                        "region_pages": self.region_pages,
+                    }
+                ).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Trace":
+        archive = np.load(path)
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        return cls(
+            benchmark=meta["benchmark"],
+            vpns=archive["vpns"],
+            region_bases={k: int(v) for k, v in meta["region_bases"].items()},
+            region_pages={k: int(v) for k, v in meta["region_pages"].items()},
+        )
+
+
+def scaled_region_pages(
+    profile: BenchmarkProfile, scale: float
+) -> Dict[str, int]:
+    """Region page counts at a given footprint scale."""
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    return {
+        region.name: max(1, int(region.pages * scale))
+        for region in profile.regions
+    }
+
+
+def generate_trace(
+    profile: BenchmarkProfile,
+    region_bases: Dict[str, int],
+    accesses: int,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> Trace:
+    """Build a ``Trace`` for a profile whose regions live at given bases.
+
+    Per-phase streams are generated with each phase's pattern and then
+    interleaved in coarse bursts (see
+    :func:`~repro.workloads.patterns.interleave_phases`).
+    """
+    if accesses < 1:
+        raise WorkloadError("accesses must be >= 1")
+    pages = scaled_region_pages(profile, scale)
+    missing = set(pages) - set(region_bases)
+    if missing:
+        raise WorkloadError(f"missing region bases for {sorted(missing)}")
+
+    total_weight = sum(p.weight for p in profile.phases)
+    streams: Dict[int, np.ndarray] = {}
+    weights: Dict[int, float] = {}
+    for index, phase in enumerate(profile.phases):
+        share = phase.weight / total_weight
+        # Generate a modest surplus so bursty interleaving never starves.
+        count = int(accesses * share * 1.25) + 1
+        offsets = generate_phase(phase, pages[phase.region], count, rng)
+        streams[index] = offsets + region_bases[phase.region]
+        weights[index] = phase.weight
+
+    vpns = interleave_phases(streams, weights, accesses, rng)
+    return Trace(
+        benchmark=profile.name,
+        vpns=vpns,
+        region_bases=dict(region_bases),
+        region_pages=pages,
+    )

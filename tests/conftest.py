@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Everything is small and seeded: kernels boot 2**12-frame machines unless
+a test needs more, so the whole suite stays fast while still exercising
+real allocation, compaction, and TLB behaviour.
+"""
+
+import pytest
+
+from repro.common.rng import SeedSequencer
+from repro.osmem.kernel import Kernel, KernelConfig
+
+
+@pytest.fixture
+def seeds():
+    return SeedSequencer(1234)
+
+
+@pytest.fixture
+def small_kernel():
+    """A pristine 16MB (4096-frame) kernel, THS + defrag on."""
+    return Kernel(KernelConfig(num_frames=4096, seed=99))
+
+
+@pytest.fixture
+def tiny_kernel_no_thp():
+    """A 4MB kernel with THS off (tests that need base pages only)."""
+    return Kernel(
+        KernelConfig(num_frames=1024, ths_enabled=False, seed=7)
+    )
+
+
+@pytest.fixture
+def kernel_factory():
+    """Factory for kernels with custom configuration overrides."""
+
+    def make(**overrides):
+        defaults = dict(num_frames=4096, seed=99)
+        defaults.update(overrides)
+        return Kernel(KernelConfig(**defaults))
+
+    return make

@@ -1,0 +1,199 @@
+"""Tests for the buddy allocator (Figures 1-2 of the paper)."""
+
+import pytest
+
+from repro.common.errors import AllocationError, OutOfMemoryError
+from repro.osmem.buddy import BuddyAllocator, order_for_pages
+
+
+class TestOrderForPages:
+    @pytest.mark.parametrize(
+        "pages,order",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (512, 9)],
+    )
+    def test_covering_order(self, pages, order):
+        assert order_for_pages(pages) == order
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(AllocationError):
+            order_for_pages(0)
+
+
+class TestInitialState:
+    def test_power_of_two_memory_seeds_max_blocks(self):
+        buddy = BuddyAllocator(2048)
+        assert buddy.free_pages == 2048
+        assert buddy.free_blocks_at(10) == 2
+        buddy.check_invariants()
+
+    def test_non_power_of_two_memory(self):
+        buddy = BuddyAllocator(1536)  # 1024 + 512
+        assert buddy.free_pages == 1536
+        assert buddy.free_blocks_at(10) == 1
+        assert buddy.free_blocks_at(9) == 1
+        buddy.check_invariants()
+
+
+class TestAllocation:
+    def test_alloc_block_is_aligned(self):
+        buddy = BuddyAllocator(1024)
+        start = buddy.alloc_block(4)
+        assert start % 16 == 0
+        buddy.check_invariants()
+
+    def test_split_populates_lower_lists(self):
+        buddy = BuddyAllocator(16)  # one order-4 block
+        buddy.alloc_block(0)
+        # Splitting 16 -> 8+4+2+1+1(allocated) leaves one block each at
+        # orders 3, 2, 1, 0.
+        for order in (0, 1, 2, 3):
+            assert buddy.free_blocks_at(order) == 1
+        assert buddy.free_pages == 15
+        buddy.check_invariants()
+
+    def test_exhaustion_raises(self):
+        buddy = BuddyAllocator(4)
+        buddy.alloc_block(2)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_block(0)
+
+    def test_fragmented_large_request_fails(self):
+        buddy = BuddyAllocator(8)
+        a = buddy.alloc_block(2)  # take half
+        buddy.alloc_block(2)
+        buddy.free_block(a, 2)
+        # Half the memory is free but only as one order-2 block.
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_block(3)
+
+    def test_alloc_exact_returns_surplus(self):
+        buddy = BuddyAllocator(16)
+        start, pages = buddy.alloc_exact(5)
+        assert pages == 5
+        assert buddy.free_pages == 11
+        buddy.check_invariants()
+
+    def test_alloc_exact_too_large_raises(self):
+        buddy = BuddyAllocator(2048)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_exact(2048)  # exceeds max order block (1024)
+
+
+class TestBestEffortRuns:
+    def test_unfragmented_gives_single_run(self):
+        buddy = BuddyAllocator(64)
+        runs = buddy.alloc_run_best_effort(10)
+        assert len(runs) == 1
+        assert runs[0][1] == 10
+
+    def test_fragmented_gives_multiple_runs(self):
+        buddy = BuddyAllocator(16)
+        # Pin alternating order-1 blocks to fragment.
+        keep = []
+        for _ in range(4):
+            keep.append(buddy.alloc_block(1))
+        for start in keep[::2]:
+            buddy.free_block(start, 1)
+        buddy.check_invariants()
+        runs = buddy.alloc_run_best_effort(12)
+        assert sum(length for _, length in runs) == 12
+        assert len(runs) > 1
+
+    def test_insufficient_memory_rolls_back(self):
+        buddy = BuddyAllocator(8)
+        buddy.alloc_block(2)
+        free_before = buddy.free_pages
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_run_best_effort(6)
+        assert buddy.free_pages == free_before
+        buddy.check_invariants()
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(8).alloc_run_best_effort(0)
+
+
+class TestFreeing:
+    def test_free_merges_back_to_max(self):
+        buddy = BuddyAllocator(64)
+        start = buddy.alloc_block(3)
+        buddy.free_block(start, 3)
+        assert buddy.free_blocks_at(6) == 1
+        assert buddy.free_pages == 64
+        buddy.check_invariants()
+
+    def test_iterative_merge_across_orders(self):
+        buddy = BuddyAllocator(8)
+        a = buddy.alloc_block(0)
+        b = buddy.alloc_block(0)
+        c = buddy.alloc_block(1)
+        d = buddy.alloc_block(2)
+        for start, order in ((a, 0), (b, 0), (c, 1), (d, 2)):
+            buddy.free_block(start, order)
+        assert buddy.free_blocks_at(3) == 1
+        buddy.check_invariants()
+
+    def test_misaligned_free_rejected(self):
+        buddy = BuddyAllocator(16)
+        with pytest.raises(AllocationError):
+            buddy.free_block(1, 1)
+
+    def test_double_free_detected(self):
+        buddy = BuddyAllocator(16)
+        start = buddy.alloc_block(4)  # whole memory
+        buddy.free_block(start, 4)
+        with pytest.raises(AllocationError):
+            buddy.free_block(start, 4)
+
+    def test_free_run_handles_unaligned_ranges(self):
+        buddy = BuddyAllocator(64)
+        start, _ = buddy.alloc_exact(13)
+        buddy.free_run(start, 13)
+        assert buddy.free_pages == 64
+        buddy.check_invariants()
+
+
+class TestReserveRange:
+    def test_reserved_frames_leave_pool(self):
+        buddy = BuddyAllocator(64)
+        buddy.reserve_range(10, 3)
+        assert buddy.free_pages == 61
+        assert not buddy.is_frame_free(11)
+        assert buddy.is_frame_free(13)
+        buddy.check_invariants()
+
+    def test_reserving_allocated_frame_rejected(self):
+        buddy = BuddyAllocator(16)
+        buddy.reserve_range(0, 16)
+        with pytest.raises(AllocationError):
+            buddy.reserve_range(0, 1)
+
+    def test_freeing_reserved_returns_them(self):
+        buddy = BuddyAllocator(16)
+        buddy.reserve_range(4, 2)
+        buddy.free_run(4, 2)
+        assert buddy.free_pages == 16
+        buddy.check_invariants()
+
+
+class TestQueries:
+    def test_can_allocate(self):
+        buddy = BuddyAllocator(16)
+        assert buddy.can_allocate(4)
+        buddy.alloc_block(4)
+        assert not buddy.can_allocate(0)
+
+    def test_largest_free_order(self):
+        buddy = BuddyAllocator(16)
+        assert buddy.largest_free_order() == 4
+        buddy.alloc_block(4)
+        assert buddy.largest_free_order() is None
+
+    def test_counters_track_operations(self):
+        buddy = BuddyAllocator(16)
+        start = buddy.alloc_block(0)
+        buddy.free_block(start, 0)
+        assert buddy.counters["allocations"] == 1
+        assert buddy.counters["splits"] == 4
+        assert buddy.counters["merges"] == 4
+        assert buddy.counters["frees"] == 1

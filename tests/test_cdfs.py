@@ -1,0 +1,100 @@
+"""Tests for the weighted-CDF utilities behind Figures 7-15."""
+
+import pytest
+
+from repro.common.cdfs import (
+    PAPER_CDF_POINTS,
+    WeightedCDF,
+    average_contiguity,
+    contiguity_cdf,
+)
+
+
+class TestWeightedCDF:
+    def test_single_value_cdf(self):
+        cdf = WeightedCDF.from_weighted_values([(4, 1.0)])
+        assert cdf.at(3) == 0.0
+        assert cdf.at(4) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_two_values_weighted(self):
+        cdf = WeightedCDF.from_weighted_values([(1, 1.0), (4, 3.0)])
+        assert cdf.at(1) == pytest.approx(0.25)
+        assert cdf.at(4) == pytest.approx(1.0)
+
+    def test_weights_accumulate_for_duplicate_values(self):
+        cdf = WeightedCDF.from_weighted_values([(2, 1.0), (2, 1.0), (8, 2.0)])
+        assert cdf.at(2) == pytest.approx(0.5)
+
+    def test_zero_weights_are_skipped(self):
+        cdf = WeightedCDF.from_weighted_values([(1, 0.0), (2, 1.0)])
+        assert cdf.support == (2,)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCDF.from_weighted_values([(1, -1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCDF.from_weighted_values([])
+
+    def test_cumulative_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            WeightedCDF((1, 2), (0.9, 0.5))
+
+    def test_support_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            WeightedCDF((2, 1), (0.5, 1.0))
+
+    def test_evaluate_at_paper_points(self):
+        cdf = WeightedCDF.from_weighted_values([(1, 1.0), (64, 1.0)])
+        points = cdf.evaluate(PAPER_CDF_POINTS)
+        assert points[1] == pytest.approx(0.5)
+        assert points[32] == pytest.approx(0.5)
+        assert points[64] == pytest.approx(1.0)
+        assert points[1024] == pytest.approx(1.0)
+
+    def test_quantile(self):
+        cdf = WeightedCDF.from_weighted_values([(1, 1.0), (8, 1.0)])
+        assert cdf.quantile(0.5) == 1
+        assert cdf.quantile(0.75) == 8
+        assert cdf.quantile(1.0) == 8
+
+    def test_quantile_bounds_checked(self):
+        cdf = WeightedCDF.from_weighted_values([(1, 1.0)])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+
+class TestAverageContiguity:
+    def test_single_run(self):
+        assert average_contiguity([8]) == pytest.approx(8.0)
+
+    def test_page_weighting(self):
+        # 4 pages in a 4-run and 1 page in a 1-run: (16 + 1) / 5.
+        assert average_contiguity([4, 1]) == pytest.approx(17 / 5)
+
+    def test_all_singletons_average_one(self):
+        assert average_contiguity([1] * 10) == pytest.approx(1.0)
+
+    def test_empty_average_is_zero(self):
+        assert average_contiguity([]) == 0.0
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            average_contiguity([0])
+
+    def test_paper_example_shape(self):
+        # A mix resembling the paper's intermediate regime: average falls
+        # between the smallest and largest run lengths, weighted upward.
+        avg = average_contiguity([1, 1, 16, 64])
+        assert 1 < avg < 64
+        assert avg > (1 + 1 + 16 + 64) / 4  # page weighting exceeds naive
+
+
+class TestContiguityCDF:
+    def test_pages_in_long_runs_dominate(self):
+        cdf = contiguity_cdf([1, 9])
+        # 9 of 10 pages live in the 9-run.
+        assert cdf.at(1) == pytest.approx(0.1)
+        assert cdf.at(9) == pytest.approx(1.0)

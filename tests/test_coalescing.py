@@ -1,0 +1,101 @@
+"""Tests for the coalescing logic (Figures 4-6's Coalescing Logic box)."""
+
+import pytest
+
+from repro.common.types import PageAttributes, Translation
+from repro.core.coalescing import (
+    clip_to_group,
+    clip_to_window,
+    contiguous_run_around,
+    run_length_around,
+)
+
+
+def line(*pairs, attrs=PageAttributes.default_user()):
+    return [Translation(v, p, attrs) for v, p in pairs]
+
+
+class TestContiguousRunAround:
+    def test_fully_contiguous_line(self):
+        translations = line(*[(8 + i, 100 + i) for i in range(8)])
+        run = contiguous_run_around(translations, 11)
+        assert [t.vpn for t in run] == list(range(8, 16))
+
+    def test_run_grows_both_directions(self):
+        translations = line((8, 1), (9, 2), (10, 3), (11, 99))
+        run = contiguous_run_around(translations, 9)
+        assert [t.vpn for t in run] == [8, 9, 10]
+
+    def test_pfn_break_stops_run(self):
+        translations = line((8, 1), (9, 2), (10, 50), (11, 51))
+        assert [t.vpn for t in contiguous_run_around(translations, 8)] == [8, 9]
+        assert [t.vpn for t in contiguous_run_around(translations, 10)] == [10, 11]
+
+    def test_vpn_hole_stops_run(self):
+        translations = line((8, 1), (10, 3), (11, 4))
+        run = contiguous_run_around(translations, 10)
+        assert [t.vpn for t in run] == [10, 11]
+
+    def test_attribute_break_stops_run(self):
+        translations = line((8, 1), (9, 2)) + line(
+            (10, 3), attrs=PageAttributes.PRESENT
+        )
+        run = contiguous_run_around(translations, 9)
+        assert [t.vpn for t in run] == [8, 9]
+
+    def test_isolated_demand_page(self):
+        translations = line((8, 1), (12, 100))
+        run = contiguous_run_around(translations, 12)
+        assert [t.vpn for t in run] == [12]
+
+    def test_missing_demanded_vpn_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_run_around(line((8, 1)), 9)
+
+    def test_run_length_around(self):
+        translations = line((8, 1), (9, 2), (10, 3))
+        assert run_length_around(translations, 9) == 3
+
+
+class TestClipToGroup:
+    def test_clip_keeps_demanded_group(self):
+        run = line(*[(6 + i, 50 + i) for i in range(6)])  # vpns 6..11
+        clipped = clip_to_group(run, 9, group_size=4)
+        assert [t.vpn for t in clipped] == [8, 9, 10, 11]
+
+    def test_clip_to_singleton_group(self):
+        run = line((6, 1), (7, 2))
+        clipped = clip_to_group(run, 6, group_size=1)
+        assert [t.vpn for t in clipped] == [6]
+
+    def test_demanded_vpn_always_survives(self):
+        run = line((4, 1), (5, 2), (6, 3), (7, 4))
+        clipped = clip_to_group(run, 7, group_size=2)
+        assert any(t.vpn == 7 for t in clipped)
+
+    def test_clip_losing_demanded_vpn_rejected(self):
+        run = line((4, 1), (5, 2))
+        with pytest.raises(ValueError):
+            clip_to_group(run, 9, group_size=4)
+
+
+class TestClipToWindow:
+    def test_short_run_unchanged(self):
+        run = line((8, 1), (9, 2))
+        assert len(clip_to_window(run, 8, 4)) == 2
+
+    def test_window_centres_on_demand(self):
+        run = line(*[(i, 100 + i) for i in range(8)])
+        clipped = clip_to_window(run, 4, 4)
+        vpns = [t.vpn for t in clipped]
+        assert len(vpns) == 4
+        assert 4 in vpns
+
+    def test_window_at_run_edge(self):
+        run = line(*[(i, 100 + i) for i in range(8)])
+        clipped = clip_to_window(run, 7, 2)
+        assert [t.vpn for t in clipped] == [6, 7]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            clip_to_window(line((0, 0)), 0, 0)

@@ -1,0 +1,160 @@
+"""Tests for RNG management, counters, and summary statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.rng import SeedSequencer, derive_seed, make_rng
+from repro.common.statistics import (
+    CounterSet,
+    RunningStat,
+    geometric_mean,
+    misses_per_million,
+    percent_eliminated,
+    speedup_percent,
+)
+
+
+class TestDerivedSeeds:
+    def test_same_inputs_same_seed(self):
+        assert derive_seed(42, "workload") == derive_seed(42, "workload")
+
+    def test_different_streams_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_seed_is_63_bit_nonnegative(self):
+        seed = derive_seed(123456789, "stream")
+        assert 0 <= seed < 2**63
+
+    def test_rngs_reproduce_draws(self):
+        a = make_rng(7, "x").integers(0, 1000, size=16)
+        b = make_rng(7, "x").integers(0, 1000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_sequencer_child_namespacing(self):
+        seeds = SeedSequencer(5)
+        child = seeds.child("osmem")
+        # Child streams must differ from equally-named parent streams.
+        assert child.seed("x") != seeds.seed("x")
+
+    def test_sequencer_rng_independence(self):
+        seeds = SeedSequencer(5)
+        a = seeds.rng("a").random(8)
+        b = seeds.rng("b").random(8)
+        assert not np.allclose(a, b)
+
+
+class TestCounterSet:
+    def test_unknown_counter_reads_zero(self):
+        assert CounterSet()["nothing"] == 0
+
+    def test_increment_default_one(self):
+        counters = CounterSet(["hits"])
+        counters.increment("hits")
+        assert counters["hits"] == 1
+
+    def test_increment_by_amount(self):
+        counters = CounterSet()
+        counters.increment("x", 5)
+        counters.increment("x", 2)
+        assert counters["x"] == 7
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().increment("x", -1)
+
+    def test_snapshot_is_immutable_copy(self):
+        counters = CounterSet(["a"])
+        counters.increment("a", 3)
+        snap = counters.snapshot()
+        counters.increment("a", 10)
+        assert snap["a"] == 3
+        assert counters["a"] == 13
+
+    def test_snapshot_delta(self):
+        counters = CounterSet(["a", "b"])
+        counters.increment("a", 2)
+        before = counters.snapshot()
+        counters.increment("a", 3)
+        counters.increment("b", 1)
+        delta = before.delta(counters.snapshot())
+        assert delta == {"a": 3, "b": 1}
+
+    def test_merge_adds_counters(self):
+        left = CounterSet(["a"])
+        left.increment("a", 1)
+        right = CounterSet()
+        right.increment("a", 2)
+        right.increment("b", 5)
+        left.merge(right)
+        assert left["a"] == 3
+        assert left["b"] == 5
+
+    def test_reset_zeroes_known_counters(self):
+        counters = CounterSet(["a"])
+        counters.increment("a", 9)
+        counters.reset()
+        assert counters["a"] == 0
+
+
+class TestRunningStat:
+    def test_mean_min_max(self):
+        stat = RunningStat()
+        for value in (1.0, 5.0, 3.0):
+            stat.add(value)
+        assert stat.mean == pytest.approx(3.0)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 5.0
+
+    def test_empty_mean_is_zero(self):
+        assert RunningStat().mean == 0.0
+
+    def test_merge(self):
+        a, b = RunningStat(), RunningStat()
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(2.0)
+
+
+class TestMetrics:
+    def test_mpmi(self):
+        # 50 misses in 1M instructions is 50 MPMI.
+        assert misses_per_million(50, 1_000_000) == pytest.approx(50.0)
+
+    def test_mpmi_requires_positive_instructions(self):
+        with pytest.raises(ValueError):
+            misses_per_million(1, 0)
+
+    def test_percent_eliminated_half(self):
+        assert percent_eliminated(100, 50) == pytest.approx(50.0)
+
+    def test_percent_eliminated_negative_when_worse(self):
+        assert percent_eliminated(100, 150) == pytest.approx(-50.0)
+
+    def test_percent_eliminated_zero_baseline(self):
+        assert percent_eliminated(0, 10) == 0.0
+
+    def test_speedup_percent(self):
+        # 120 -> 100 cycles is a 20% improvement.
+        assert speedup_percent(120.0, 100.0) == pytest.approx(20.0)
+
+    def test_speedup_requires_positive_cycles(self):
+        with pytest.raises(ValueError):
+            speedup_percent(10.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,128 @@
+"""Tests for the memory-compaction daemon (Figure 3)."""
+
+import pytest
+
+from repro.osmem.kernel import Kernel, KernelConfig
+
+
+def make_fragmented_kernel(ths=False):
+    """A kernel whose free memory alternates with movable allocations."""
+    kernel = Kernel(
+        KernelConfig(
+            num_frames=2048,
+            ths_enabled=ths,
+            kernel_reserved_fraction=0.0,
+        )
+    )
+    process = kernel.create_process("frag", fault_batch=2)
+    # Fill essentially all of memory, then free alternating regions, so
+    # free space exists only as scattered 8-page holes.
+    vmas = [kernel.malloc(process, 8, populate=True) for _ in range(240)]
+    for vma in vmas[::2]:
+        kernel.free_vma(process, vma)
+    return kernel, process
+
+
+class TestMigration:
+    def test_compaction_grows_largest_free_run(self):
+        kernel, _ = make_fragmented_kernel()
+        before = kernel.physical.largest_free_run()
+        kernel.compaction.run()
+        after = kernel.physical.largest_free_run()
+        assert after > before
+
+    def test_compaction_preserves_translations(self):
+        kernel, process = make_fragmented_kernel()
+        snapshot = {
+            t.vpn: t.attributes for t in process.iter_mappings()
+        }
+        kernel.compaction.run()
+        for vpn, attrs in snapshot.items():
+            translation = process.page_table.lookup(vpn)
+            assert translation is not None, f"vpn {vpn} lost"
+            assert translation.attributes == attrs
+            # The frame must agree with the reverse map.
+            assert kernel.physical.backing_vpn_of(translation.pfn) == vpn
+
+    def test_compaction_preserves_frame_accounting(self):
+        kernel, _ = make_fragmented_kernel()
+        free_before = kernel.physical.free_frames
+        kernel.compaction.run()
+        assert kernel.physical.free_frames == free_before
+        kernel.buddy.check_invariants()
+
+    def test_migrated_pages_move_toward_top(self):
+        kernel, process = make_fragmented_kernel()
+        kernel.compaction.run()
+        # After full compaction, movable pages should occupy higher
+        # frames than the largest free run's start.
+        runs = kernel.physical.free_runs()
+        largest = max(runs, key=lambda r: r.length)
+        movable_below = [
+            p
+            for p in kernel.physical.movable_frames_ascending()
+            if p < largest.start
+        ]
+        # Most movable pages sit above the big free run (a few stragglers
+        # are fine: the scanners stop when they meet).
+        total_movable = len(list(kernel.physical.movable_frames_ascending()))
+        assert len(movable_below) < total_movable / 2
+
+
+class TestBudgetsAndCursor:
+    def test_max_migrations_bounds_work(self):
+        kernel, _ = make_fragmented_kernel()
+        migrated = kernel.compaction.run(max_migrations=5)
+        assert migrated <= 5
+
+    def test_until_free_order_stops_early(self):
+        kernel, _ = make_fragmented_kernel()
+        kernel.compaction.run(until_free_order=4)
+        assert kernel.buddy.can_allocate(4)
+
+    def test_cursor_makes_progress_across_budgeted_runs(self):
+        kernel, _ = make_fragmented_kernel()
+        first = kernel.compaction.run(max_migrations=3)
+        second = kernel.compaction.run(max_migrations=3)
+        # Two budgeted runs migrate different pages (cursor advanced), so
+        # total migrations accumulate.
+        assert kernel.compaction.counters["pages_migrated"] == first + second
+
+    def test_empty_memory_is_a_noop(self):
+        kernel = Kernel(
+            KernelConfig(num_frames=1024, kernel_reserved_fraction=0.0)
+        )
+        assert kernel.compaction.run() == 0
+
+
+class TestPinsAndSuperpages:
+    def test_pinned_pages_never_move(self):
+        kernel = Kernel(KernelConfig(num_frames=2048, seed=3))
+        pinned_before = {
+            pfn
+            for pfn in range(2048)
+            if kernel.physical.is_allocated(pfn)
+            and not kernel.physical.is_movable(pfn)
+        }
+        process = kernel.create_process("p")
+        kernel.malloc(process, 300, populate=True, thp_eligible=False)
+        kernel.compaction.run()
+        for pfn in pinned_before:
+            assert kernel.physical.is_allocated(pfn)
+            assert not kernel.physical.is_movable(pfn)
+
+    def test_superpages_are_skipped(self):
+        kernel = Kernel(
+            KernelConfig(num_frames=4096, kernel_reserved_fraction=0.0)
+        )
+        process = kernel.create_process("p")
+        kernel.malloc(process, 600, populate=True)
+        assert kernel.thp.counters["huge_faults"] >= 1
+        base = process.page_table.superpage_base(
+            kernel.thp.active_for(process.pid)[0]
+        )
+        kernel.compaction.run()
+        # The superpage mapping is untouched.
+        after = process.page_table.superpage_base(base.vpn)
+        assert after is not None
+        assert after.pfn == base.pfn

@@ -1,0 +1,75 @@
+"""Sanity tests for architectural constants and the public API surface."""
+
+import pytest
+
+import repro
+from repro.common import constants
+
+
+class TestConstants:
+    def test_page_geometry(self):
+        assert constants.PAGE_SIZE == 1 << constants.PAGE_SHIFT
+        assert constants.SUPERPAGE_SIZE == (
+            constants.PAGE_SIZE * constants.SUPERPAGE_PAGES
+        )
+        assert constants.SUPERPAGE_PAGES == 1 << (
+            constants.SUPERPAGE_SHIFT - constants.PAGE_SHIFT
+        )
+
+    def test_page_table_geometry(self):
+        assert constants.PTES_PER_TABLE == 512
+        assert (
+            constants.BITS_PER_LEVEL * constants.PAGE_TABLE_LEVELS
+            + constants.PAGE_SHIFT
+            == constants.VIRTUAL_ADDRESS_BITS
+        )
+
+    def test_cache_line_holds_eight_ptes(self):
+        # The coalescing window of Section 4.1.4.
+        assert constants.PTES_PER_CACHE_LINE == 8
+        assert (
+            constants.PTES_PER_CACHE_LINE * constants.PTE_SIZE
+            == constants.CACHE_LINE_SIZE
+        )
+
+    def test_paper_tlb_sizes(self):
+        # Section 5.2.1's simulated hierarchy.
+        assert constants.DEFAULT_L1_TLB_ENTRIES == 32
+        assert constants.DEFAULT_L2_TLB_ENTRIES == 128
+        assert constants.DEFAULT_SUPERPAGE_TLB_ENTRIES == 16
+        assert constants.COLT_FA_TLB_ENTRIES == 8
+        assert constants.DEFAULT_MMU_CACHE_ENTRIES == 22
+
+    def test_buddy_max_order_matches_linux(self):
+        assert constants.MAX_ORDER == 11
+        assert constants.MAX_ORDER_PAGES == 1024
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.cache as cache
+        import repro.common as common
+        import repro.contiguity as contiguity
+        import repro.core as core
+        import repro.experiments as experiments
+        import repro.osmem as osmem
+        import repro.sim as sim
+        import repro.tlb as tlb
+        import repro.walker as walker
+        import repro.workloads as workloads
+
+        for module in (
+            common, osmem, contiguity, cache, walker, tlb, core,
+            workloads, sim, experiments,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (
+                    f"{module.__name__}.{name}"
+                )

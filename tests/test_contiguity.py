@@ -1,0 +1,109 @@
+"""Tests for the contiguity scanner and its reports."""
+
+import pytest
+
+from repro.common.types import ContiguityRun, PageAttributes, Translation
+from repro.contiguity.scanner import (
+    ContiguityReport,
+    scan_process,
+    scan_translations,
+)
+from repro.osmem.kernel import Kernel, KernelConfig
+
+
+def translations(*specs):
+    return [Translation(v, p) for v, p in specs]
+
+
+class TestScanTranslations:
+    def test_single_run(self):
+        runs = scan_translations(translations((1, 10), (2, 11), (3, 12)))
+        assert len(runs) == 1
+        assert runs[0].start_vpn == 1
+        assert runs[0].start_pfn == 10
+        assert runs[0].length == 3
+
+    def test_pfn_break_starts_new_run(self):
+        runs = scan_translations(translations((1, 10), (2, 50), (3, 51)))
+        assert [(r.start_vpn, r.length) for r in runs] == [(1, 1), (2, 2)]
+
+    def test_vpn_hole_starts_new_run(self):
+        runs = scan_translations(translations((1, 10), (5, 11)))
+        assert len(runs) == 2
+
+    def test_paper_definition_example(self):
+        # Section 3.1: virtual 1,2,3 -> physical 58,59,60 is 3-contiguity.
+        runs = scan_translations(translations((1, 58), (2, 59), (3, 60)))
+        assert runs[0].length == 3
+
+    def test_attribute_mismatch_breaks_run(self):
+        mapped = [
+            Translation(1, 10, PageAttributes.PRESENT),
+            Translation(2, 11, PageAttributes.PRESENT | PageAttributes.WRITABLE),
+        ]
+        assert len(scan_translations(mapped)) == 2
+
+    def test_superpages_become_flagged_runs(self):
+        mapped = [
+            Translation(1, 10),
+            Translation(512, 1024, is_superpage=True),
+            Translation(1024 + 1, 2000),
+        ]
+        runs = scan_translations(mapped)
+        assert len(runs) == 3
+        superpage_run = runs[1]
+        assert superpage_run.from_superpage
+        assert superpage_run.length == 512
+
+    def test_empty_input(self):
+        assert scan_translations([]) == []
+
+
+class TestContiguityReport:
+    def report_from(self, *lengths, superpage_pages=0):
+        runs = []
+        vpn = 0
+        for length in lengths:
+            runs.append(ContiguityRun(vpn, vpn + 100_000, length))
+            vpn += length + 3
+        if superpage_pages:
+            runs.append(
+                ContiguityRun(1 << 20, 1 << 21, superpage_pages,
+                              from_superpage=True)
+            )
+        return ContiguityReport.from_runs(runs)
+
+    def test_totals(self):
+        report = self.report_from(4, 2, superpage_pages=512)
+        assert report.total_pages == 4 + 2 + 512
+        assert report.superpage_pages == 512
+
+    def test_superpages_excluded_from_average(self):
+        with_sp = self.report_from(4, 4, superpage_pages=512)
+        without = self.report_from(4, 4)
+        assert with_sp.average_contiguity == without.average_contiguity
+
+    def test_cdf_excludes_superpages(self):
+        report = self.report_from(4, superpage_pages=512)
+        assert report.cdf().at(4) == pytest.approx(1.0)
+
+    def test_fraction_with_contiguity_at_least(self):
+        # 8 pages in an 8-run, 2 in a 2-run: 80% at >= 8.
+        report = self.report_from(8, 2)
+        assert report.fraction_with_contiguity_at_least(8) == pytest.approx(0.8)
+        assert report.fraction_with_contiguity_at_least(1) == pytest.approx(1.0)
+        assert report.fraction_with_contiguity_at_least(9) == pytest.approx(0.0)
+
+    def test_fraction_on_empty_base_pages(self):
+        report = self.report_from(superpage_pages=512)
+        assert report.fraction_with_contiguity_at_least(1) == 0.0
+
+    def test_from_process_roundtrip(self):
+        kernel = Kernel(KernelConfig(num_frames=2048, ths_enabled=False))
+        process = kernel.create_process("p")
+        kernel.malloc(process, 64, populate=True)
+        report = ContiguityReport.from_process(process)
+        assert report.total_pages == 64
+        assert report.average_contiguity >= 1.0
+        # The scanner agrees with a fresh scan.
+        assert len(report.runs) == len(scan_process(process))

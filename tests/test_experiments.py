@@ -1,0 +1,144 @@
+"""Integration tests for the experiment harnesses (tiny scale)."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.scale import QUICK, ExperimentScale, scale_from_env
+from repro.sim.runner import ExperimentRunner
+
+#: A scale small enough for the test suite.
+TINY = ExperimentScale(
+    accesses=2500,
+    num_frames=4096,
+    footprint_scale=0.12,
+    benchmarks=("gobmk", "povray"),
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """Module-scoped runner: experiments share cached simulations."""
+    return ExperimentRunner()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "fig7_9", "fig10_12", "fig13_15", "fig16", "fig17",
+            "fig18", "fig19", "fig20", "fig21",
+            "abl_l2fill", "abl_window", "abl_fasize", "abl_futurework",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+
+class TestScales:
+    def test_env_scale_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert scale_from_env() == QUICK
+
+    def test_env_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env(TINY) == TINY
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+
+class TestTable1:
+    def test_rows_and_formatting(self, runner):
+        result = get_experiment("table1").run(TINY, runner)
+        assert [r.benchmark for r in result.rows] == ["gobmk", "povray"]
+        for row in result.rows:
+            assert row.l1_mpmi_ths_on >= 0
+            assert len(row.paper) == 4
+        table = result.format_table()
+        assert "gobmk" in table
+        assert "L1on" in table
+
+
+class TestContiguityFigures:
+    def test_cdf_experiment(self, runner):
+        result = get_experiment("fig7_9").run(TINY, runner)
+        assert result.ths_enabled
+        for row in result.rows:
+            assert row.average_contiguity >= 1.0
+            assert row.cdf_points[1024] == pytest.approx(1.0)
+        assert result.average_of_averages >= 1.0
+        assert "Contiguity" in result.format_table()
+
+    def test_low_compaction_config(self, runner):
+        result = get_experiment("fig13_15").run(TINY, runner)
+        assert not result.ths_enabled
+        assert not result.defrag_enabled
+
+    def test_memhog_figure(self, runner):
+        result = get_experiment("fig16").run(TINY, runner)
+        assert result.ths_enabled
+        averages = result.averages()
+        assert len(averages) == 3
+        assert all(a >= 1.0 for a in averages)
+        assert "memhog" in result.format_table()
+
+
+class TestTLBFigures:
+    def test_fig18_structure(self, runner):
+        result = get_experiment("fig18").run(TINY, runner)
+        for row in result.rows:
+            assert set(row.l1_eliminated) == {
+                "colt_sa", "colt_fa", "colt_all",
+            }
+        from repro.core.mmu import CoLTDesign
+
+        # Averages are finite numbers.
+        assert isinstance(
+            result.average("l1", CoLTDesign.COLT_SA), float
+        )
+
+    def test_fig19_shift_sweep(self, runner):
+        result = get_experiment("fig19").run(TINY, runner)
+        assert result.shifts == (1, 2, 3)
+        for row in result.rows:
+            assert set(row.l1_eliminated) == {1, 2, 3}
+
+    def test_fig20_columns(self, runner):
+        result = get_experiment("fig20").run(TINY, runner)
+        averages = result.averages()
+        assert len(averages) == 3
+        # 8-way without CoLT is weaker than 8-way with CoLT (the paper's
+        # headline for Figure 20).
+        assert averages[2] >= averages[1]
+
+    def test_fig21_includes_perfect_bound(self, runner):
+        result = get_experiment("fig21").run(TINY, runner)
+        for row in result.rows:
+            assert row.improvements["perfect"] >= row.improvements["colt_sa"]
+            assert row.improvements["perfect"] >= 0
+
+
+class TestAblations:
+    def test_l2fill_variants(self, runner):
+        result = get_experiment("abl_l2fill").run(TINY, runner)
+        assert set(result.variant_names) == {
+            "fa_with_l2fill", "fa_no_l2fill",
+            "all_with_l2fill", "all_no_l2fill",
+        }
+
+    def test_window_monotone_on_average(self, runner):
+        result = get_experiment("abl_window").run(TINY, runner)
+        # A wider window can only find more coalescible translations.
+        assert (
+            result.average("fa_window_8")
+            >= result.average("fa_window_2") - 1e-9
+        )
+
+    def test_fasize_variants(self, runner):
+        result = get_experiment("abl_fasize").run(TINY, runner)
+        assert "fa_16_entries" in result.variant_names

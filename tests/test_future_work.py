@@ -1,0 +1,147 @@
+"""Tests for the Section 4.1.5 future-work mechanisms.
+
+The paper defers two refinements: gracefully uncoalescing entries on
+invalidation (instead of whole-entry flushes) and replacement that
+de-prioritises entries with little coalescing. Both are implemented
+behind configuration flags; these tests pin their semantics.
+"""
+
+import pytest
+
+from repro.common.types import Translation
+from repro.core.mmu import CoLTDesign, make_mmu_config
+from repro.tlb.config import (
+    FullyAssociativeTLBConfig,
+    SetAssociativeTLBConfig,
+)
+from repro.tlb.entries import CoalescedEntry, RangeEntry
+from repro.tlb.fully_associative import FullyAssociativeTLB
+from repro.tlb.set_associative import SetAssociativeTLB
+
+
+def run_of(start_vpn, start_pfn, length):
+    return [
+        Translation(start_vpn + i, start_pfn + i) for i in range(length)
+    ]
+
+
+class TestGracefulSAInvalidation:
+    def graceful_tlb(self):
+        return SetAssociativeTLB(
+            SetAssociativeTLBConfig(32, 4, 2, graceful_invalidation=True)
+        )
+
+    def test_interior_invalidation_splits_entry(self):
+        tlb = self.graceful_tlb()
+        tlb.insert(CoalescedEntry.from_run(run_of(8, 100, 4), 4))
+        tlb.invalidate(9)
+        assert tlb.probe(9, update_lru=False) is None
+        # Neighbours survive with correct PPNs.
+        assert tlb.probe(8) == 100
+        assert tlb.probe(10) == 102
+        assert tlb.probe(11) == 103
+        assert tlb.counters["graceful_splits"] == 2
+
+    def test_edge_invalidation_shrinks_entry(self):
+        tlb = self.graceful_tlb()
+        tlb.insert(CoalescedEntry.from_run(run_of(8, 100, 4), 4))
+        tlb.invalidate(8)
+        assert tlb.probe(8, update_lru=False) is None
+        for vpn, ppn in ((9, 101), (10, 102), (11, 103)):
+            assert tlb.probe(vpn) == ppn
+
+    def test_singleton_invalidation_leaves_nothing(self):
+        tlb = self.graceful_tlb()
+        tlb.insert_translation(Translation(5, 5))
+        tlb.invalidate(5)
+        assert tlb.occupancy == 0
+
+    def test_default_behaviour_still_flushes_whole_entry(self):
+        tlb = SetAssociativeTLB(SetAssociativeTLBConfig(32, 4, 2))
+        tlb.insert(CoalescedEntry.from_run(run_of(8, 100, 4), 4))
+        tlb.invalidate(9)
+        assert tlb.probe(8, update_lru=False) is None
+
+
+class TestGracefulFAInvalidation:
+    def graceful_tlb(self):
+        return FullyAssociativeTLB(
+            FullyAssociativeTLBConfig(
+                entries=8, allow_coalesced=True, graceful_invalidation=True
+            )
+        )
+
+    def test_interior_invalidation_splits_range(self):
+        tlb = self.graceful_tlb()
+        tlb.insert(RangeEntry.from_run(run_of(100, 700, 8)))
+        tlb.invalidate(103)
+        assert tlb.probe(103, update_lru=False) is None
+        assert tlb.probe(100) == 700
+        assert tlb.probe(102) == 702
+        assert tlb.probe(104) == 704
+        assert tlb.probe(107) == 707
+        assert tlb.occupancy == 2
+
+    def test_superpages_still_drop_whole(self):
+        tlb = self.graceful_tlb()
+        tlb.insert_superpage(Translation(512, 1024, is_superpage=True))
+        tlb.invalidate(512 + 10)
+        assert tlb.occupancy == 0
+
+
+class TestCoalescingAwareReplacement:
+    def test_singleton_evicted_before_coalesced(self):
+        # One set (4 entries, 4 ways): fill with a coalesced entry first
+        # (making it LRU) and three singletons; the next insert must
+        # evict a singleton, not the older coalesced entry.
+        tlb = SetAssociativeTLB(
+            SetAssociativeTLBConfig(
+                4, 4, 2, coalescing_aware_replacement=True
+            )
+        )
+        tlb.insert(CoalescedEntry.from_run(run_of(0, 100, 4), 4))  # LRU
+        for vpn in (16, 32, 48):  # same set, different groups
+            tlb.insert_translation(Translation(vpn, vpn))
+        tlb.insert_translation(Translation(64, 64))
+        # The coalesced entry survived despite being least recent.
+        assert tlb.probe(0, update_lru=False) == 100
+        # The oldest singleton (16) was evicted instead.
+        assert tlb.probe(16, update_lru=False) is None
+
+    def test_plain_lru_evicts_oldest_regardless(self):
+        tlb = SetAssociativeTLB(SetAssociativeTLBConfig(4, 4, 2))
+        tlb.insert(CoalescedEntry.from_run(run_of(0, 100, 4), 4))
+        for vpn in (16, 32, 48, 64):
+            tlb.insert_translation(Translation(vpn, vpn))
+        assert tlb.probe(0, update_lru=False) is None
+
+    def test_ties_broken_by_recency(self):
+        tlb = SetAssociativeTLB(
+            SetAssociativeTLBConfig(
+                4, 4, 2, coalescing_aware_replacement=True
+            )
+        )
+        for vpn in (0, 16, 32, 48):  # four singletons
+            tlb.insert_translation(Translation(vpn, vpn))
+        tlb.probe(0)  # promote the oldest
+        tlb.insert_translation(Translation(64, 64))
+        assert tlb.probe(16, update_lru=False) is None  # LRU singleton
+        assert tlb.probe(0, update_lru=False) == 0
+
+
+class TestFactoryFlags:
+    def test_make_mmu_config_propagates_flags(self):
+        config = make_mmu_config(
+            CoLTDesign.COLT_ALL,
+            graceful_invalidation=True,
+            coalescing_aware_replacement=True,
+        )
+        assert config.l1.graceful_invalidation
+        assert config.l2.coalescing_aware_replacement
+        assert config.superpage.graceful_invalidation
+
+    def test_defaults_stay_paper_faithful(self):
+        config = make_mmu_config(CoLTDesign.COLT_ALL)
+        assert not config.l1.graceful_invalidation
+        assert not config.l2.coalescing_aware_replacement
+        assert not config.superpage.graceful_invalidation

@@ -1,0 +1,124 @@
+"""Unit tests for the LRU tracker used by every TLB and cache."""
+
+import pytest
+
+from repro.common.lru import LRUTracker
+
+
+class TestBasics:
+    def test_empty_tracker_has_zero_length(self):
+        assert len(LRUTracker(4)) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUTracker(0)
+
+    def test_touch_inserts_new_key(self):
+        lru = LRUTracker(2)
+        lru.touch("a")
+        assert "a" in lru
+        assert len(lru) == 1
+
+    def test_contains_reports_absent_key(self):
+        lru = LRUTracker(2)
+        assert "a" not in lru
+
+    def test_is_full(self):
+        lru = LRUTracker(2)
+        assert not lru.is_full
+        lru.touch("a")
+        lru.touch("b")
+        assert lru.is_full
+
+
+class TestRecencyOrder:
+    def test_victim_is_least_recently_used(self):
+        lru = LRUTracker(3)
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        assert lru.victim() == "a"
+
+    def test_touch_promotes_existing_key(self):
+        lru = LRUTracker(3)
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        lru.touch("a")
+        assert lru.victim() == "b"
+
+    def test_mru_reports_most_recent(self):
+        lru = LRUTracker(3)
+        lru.touch("a")
+        lru.touch("b")
+        assert lru.mru() == "b"
+        lru.touch("a")
+        assert lru.mru() == "a"
+
+    def test_mru_of_empty_is_none(self):
+        assert LRUTracker(2).mru() is None
+
+    def test_iteration_is_lru_to_mru(self):
+        lru = LRUTracker(3)
+        for key in ("x", "y", "z"):
+            lru.touch(key)
+        lru.touch("x")
+        assert list(lru) == ["y", "z", "x"]
+
+
+class TestEviction:
+    def test_evict_removes_and_returns_lru(self):
+        lru = LRUTracker(2)
+        lru.touch("a")
+        lru.touch("b")
+        assert lru.evict() == "a"
+        assert "a" not in lru
+        assert len(lru) == 1
+
+    def test_insert_into_full_tracker_raises(self):
+        lru = LRUTracker(1)
+        lru.touch("a")
+        with pytest.raises(ValueError):
+            lru.touch("b")
+
+    def test_touch_existing_key_in_full_tracker_is_fine(self):
+        lru = LRUTracker(1)
+        lru.touch("a")
+        lru.touch("a")  # no eviction needed
+        assert lru.victim() == "a"
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(ValueError):
+            LRUTracker(2).evict()
+
+    def test_victim_empty_raises(self):
+        with pytest.raises(ValueError):
+            LRUTracker(2).victim()
+
+
+class TestRemoval:
+    def test_remove_existing_key(self):
+        lru = LRUTracker(2)
+        lru.touch("a")
+        lru.remove("a")
+        assert "a" not in lru
+
+    def test_remove_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            LRUTracker(2).remove("ghost")
+
+    def test_discard_missing_key_is_silent(self):
+        LRUTracker(2).discard("ghost")
+
+    def test_removal_frees_capacity(self):
+        lru = LRUTracker(1)
+        lru.touch("a")
+        lru.remove("a")
+        lru.touch("b")
+        assert "b" in lru
+
+    def test_clear(self):
+        lru = LRUTracker(3)
+        lru.touch("a")
+        lru.touch("b")
+        lru.clear()
+        assert len(lru) == 0
+        assert "a" not in lru

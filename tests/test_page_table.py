@@ -1,0 +1,231 @@
+"""Tests for the x86-64 four-level page table."""
+
+import pytest
+
+from repro.common.constants import PTES_PER_CACHE_LINE, SUPERPAGE_PAGES
+from repro.common.errors import TranslationError
+from repro.common.types import PageAttributes
+from repro.osmem.page_table import PageTable, level_index
+
+
+class TestLevelIndex:
+    def test_leaf_index_is_low_nine_bits(self):
+        assert level_index(0b1_0000_0011, 3) == 0b1_0000_0011 & 0x1FF
+
+    def test_root_index(self):
+        vpn = 5 << 27
+        assert level_index(vpn, 0) == 5
+
+    def test_pd_index(self):
+        vpn = 7 << 9
+        assert level_index(vpn, 2) == 7
+
+
+class TestBasicMapping:
+    def test_map_then_lookup(self):
+        table = PageTable()
+        table.map_page(1000, 77)
+        translation = table.lookup(1000)
+        assert translation.pfn == 77
+        assert not translation.is_superpage
+
+    def test_unmapped_lookup_is_none(self):
+        assert PageTable().lookup(123) is None
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map_page(5, 1)
+        with pytest.raises(TranslationError):
+            table.map_page(5, 2)
+
+    def test_unmap_returns_translation(self):
+        table = PageTable()
+        table.map_page(5, 9)
+        removed = table.unmap_page(5)
+        assert removed.pfn == 9
+        assert table.lookup(5) is None
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(TranslationError):
+            PageTable().unmap_page(5)
+
+    def test_mapped_pages_counter(self):
+        table = PageTable()
+        for vpn in range(10):
+            table.map_page(vpn, vpn + 100)
+        assert table.mapped_pages == 10
+        table.unmap_page(3)
+        assert table.mapped_pages == 9
+
+    def test_vpn_out_of_canonical_space_rejected(self):
+        with pytest.raises(TranslationError):
+            PageTable().map_page(1 << 40, 0)
+
+    def test_distant_vpns_use_distinct_subtrees(self):
+        table = PageTable()
+        table.map_page(0, 1)
+        table.map_page(1 << 30, 2)
+        assert table.lookup(0).pfn == 1
+        assert table.lookup(1 << 30).pfn == 2
+
+
+class TestSuperpages:
+    def test_map_superpage_and_lookup_interior_page(self):
+        table = PageTable()
+        table.map_superpage(512, 2048)
+        inner = table.lookup(512 + 17)
+        assert inner.is_superpage
+        assert inner.pfn == 2048 + 17
+
+    def test_superpage_alignment_enforced(self):
+        table = PageTable()
+        with pytest.raises(TranslationError):
+            table.map_superpage(100, 512)
+        with pytest.raises(TranslationError):
+            table.map_superpage(512, 100)
+
+    def test_superpage_base_query(self):
+        table = PageTable()
+        table.map_superpage(1024, 4096)
+        base = table.superpage_base(1024 + 300)
+        assert base.vpn == 1024
+        assert base.pfn == 4096
+
+    def test_superpage_base_none_for_base_pages(self):
+        table = PageTable()
+        table.map_page(7, 7)
+        assert table.superpage_base(7) is None
+
+    def test_mapped_pages_counts_superpage_as_512(self):
+        table = PageTable()
+        table.map_superpage(0, 0)
+        assert table.mapped_pages == SUPERPAGE_PAGES
+
+    def test_split_superpage_preserves_frames(self):
+        table = PageTable()
+        table.map_superpage(512, 5120)
+        table.split_superpage(512)
+        for offset in (0, 100, 511):
+            translation = table.lookup(512 + offset)
+            assert not translation.is_superpage
+            assert translation.pfn == 5120 + offset
+
+    def test_unmap_superpage(self):
+        table = PageTable()
+        table.map_superpage(512, 1024)
+        removed = table.unmap_superpage(512)
+        assert removed.is_superpage
+        assert table.lookup(512) is None
+
+    def test_pd_slot_conflict_rejected(self):
+        table = PageTable()
+        table.map_page(512, 1)  # creates a PT under the PD slot
+        with pytest.raises(TranslationError):
+            table.map_superpage(512, 1024)
+
+
+class TestAttributes:
+    def test_set_attributes(self):
+        table = PageTable()
+        table.map_page(3, 3)
+        table.set_attributes(3, PageAttributes.PRESENT)
+        assert table.lookup(3).attributes == PageAttributes.PRESENT
+
+    def test_mark_accessed_sets_bits(self):
+        table = PageTable()
+        table.map_page(3, 3, PageAttributes.PRESENT)
+        table.mark_accessed(3, dirty=True)
+        attrs = table.lookup(3).attributes
+        assert attrs & PageAttributes.ACCESSED
+        assert attrs & PageAttributes.DIRTY
+
+    def test_mark_accessed_on_superpage_hits_pde(self):
+        table = PageTable()
+        table.map_superpage(512, 1024, PageAttributes.PRESENT)
+        table.mark_accessed(512 + 44)
+        assert table.lookup(512).attributes & PageAttributes.ACCESSED
+
+    def test_mark_accessed_unmapped_rejected(self):
+        with pytest.raises(TranslationError):
+            PageTable().mark_accessed(5)
+
+
+class TestWalkerSupport:
+    def test_walk_path_has_four_levels_for_base_page(self):
+        table = PageTable()
+        table.map_page(12345, 1)
+        assert len(table.walk_path_addresses(12345)) == 4
+
+    def test_walk_path_has_three_levels_for_superpage(self):
+        table = PageTable()
+        table.map_superpage(512, 1024)
+        assert len(table.walk_path_addresses(512 + 5)) == 3
+
+    def test_walk_path_addresses_are_distinct_frames(self):
+        table = PageTable()
+        table.map_page(999, 1)
+        addresses = table.walk_path_addresses(999)
+        frames = {addr // 4096 for addr in addresses}
+        assert len(frames) == 4  # four distinct table nodes
+
+    def test_pte_cache_line_alignment(self):
+        table = PageTable()
+        for vpn in range(16, 32):
+            table.map_page(vpn, vpn + 1000)
+        line = table.pte_cache_line(19)
+        assert len(line) == PTES_PER_CACHE_LINE
+        assert [t.vpn for t in line] == list(range(16, 24))
+
+    def test_pte_cache_line_has_none_for_holes(self):
+        table = PageTable()
+        table.map_page(8, 1)
+        table.map_page(10, 2)
+        line = table.pte_cache_line(8)
+        assert line[0] is not None
+        assert line[1] is None
+        assert line[2] is not None
+
+    def test_pte_cache_line_never_crosses_pt_page(self):
+        table = PageTable()
+        # VPNs 504..511 and 512.. live in different PT nodes; the line
+        # for 510 covers only [504, 512).
+        for vpn in range(504, 516):
+            table.map_page(vpn, vpn)
+        line = table.pte_cache_line(510)
+        assert [t.vpn for t in line if t] == list(range(504, 512))
+
+
+class TestIterationAndPruning:
+    def test_iter_mappings_in_vpn_order(self):
+        table = PageTable()
+        for vpn in (500, 3, 80000, 77):
+            table.map_page(vpn, vpn)
+        vpns = [t.vpn for t in table.iter_mappings()]
+        assert vpns == sorted(vpns)
+
+    def test_iter_includes_superpages_once(self):
+        table = PageTable()
+        table.map_page(3, 3)
+        table.map_superpage(512, 1024)
+        entries = list(table.iter_mappings())
+        assert len(entries) == 2
+        assert entries[1].is_superpage
+
+    def test_unmap_prunes_empty_nodes(self):
+        release_log = []
+        counter = iter(range(10_000, 20_000))
+        table = PageTable(
+            allocate_frame=lambda: next(counter),
+            release_frame=release_log.append,
+        )
+        table.map_page(12345, 1)
+        table.unmap_page(12345)
+        # The PT, PD and PDPT nodes all became empty and were released.
+        assert len(release_log) == 3
+
+    def test_prune_keeps_shared_nodes(self):
+        table = PageTable()
+        table.map_page(100, 1)
+        table.map_page(101, 2)
+        table.unmap_page(100)
+        assert table.lookup(101).pfn == 2

@@ -1,0 +1,111 @@
+"""Tests for the performance interpolation model."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mmu_cache import MMUCache
+from repro.common.errors import ConfigurationError
+from repro.core.mmu import MMU, CoLTDesign, make_mmu_config
+from repro.core.performance import (
+    CoreModel,
+    PerformanceResult,
+    evaluate_performance,
+    mpmi,
+    perfect_tlb_result,
+)
+from repro.osmem.page_table import PageTable
+from repro.walker.page_walker import PageWalker
+
+
+def mmu_after_run(design=CoLTDesign.BASELINE, pages=64, sweeps=2):
+    table = PageTable()
+    for offset in range(pages):
+        table.map_page(1024 + offset, 9000 + offset)
+    walker = PageWalker(table, CacheHierarchy(), MMUCache())
+    mmu = MMU(make_mmu_config(design), walker)
+    for _ in range(sweeps):
+        for vpn in range(1024, 1024 + pages):
+            mmu.translate(vpn)
+    return mmu
+
+
+class TestCoreModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreModel(base_cpi=0)
+        with pytest.raises(ConfigurationError):
+            CoreModel(instructions_per_access=0)
+
+
+class TestPerformanceResult:
+    def test_cycle_composition(self):
+        result = PerformanceResult(
+            instructions=1000, base_cycles=1000,
+            l2_hit_cycles=70, walk_cycles=430,
+        )
+        assert result.tlb_overhead_cycles == 500
+        assert result.total_cycles == 1500
+        assert result.cpi == pytest.approx(1.5)
+
+    def test_improvement_over(self):
+        slow = PerformanceResult(1000, 1000, 0, 500)
+        fast = PerformanceResult(1000, 1000, 0, 0)
+        assert fast.improvement_over(slow) == pytest.approx(50.0)
+
+    def test_improvement_is_zero_for_self(self):
+        result = PerformanceResult(1000, 1000, 10, 10)
+        assert result.improvement_over(result) == pytest.approx(0.0)
+
+
+class TestEvaluate:
+    def test_evaluate_uses_mmu_counters(self):
+        mmu = mmu_after_run()
+        core = CoreModel(base_cpi=1.0, instructions_per_access=3.0)
+        result = evaluate_performance(mmu, 128, core)
+        assert result.instructions == 128 * 3.0
+        assert result.walk_cycles == mmu.total_walk_cycles
+        assert result.l2_hit_cycles == mmu.total_l2_hit_cycles
+
+    def test_compulsory_discount_reduces_walk_cycles(self):
+        mmu = mmu_after_run()
+        core = CoreModel()
+        plain = evaluate_performance(mmu, 128, core)
+        discounted = evaluate_performance(
+            mmu, 128, core, compulsory_discount_cycles=1000.0
+        )
+        assert discounted.walk_cycles == plain.walk_cycles - 1000.0
+
+    def test_discount_floors_at_zero(self):
+        mmu = mmu_after_run()
+        result = evaluate_performance(
+            mmu, 128, CoreModel(), compulsory_discount_cycles=1e12
+        )
+        assert result.walk_cycles == 0.0
+
+    def test_zero_accesses_rejected(self):
+        mmu = mmu_after_run()
+        with pytest.raises(ConfigurationError):
+            evaluate_performance(mmu, 0, CoreModel())
+
+    def test_perfect_result_has_no_overhead(self):
+        result = perfect_tlb_result(100, CoreModel())
+        assert result.tlb_overhead_cycles == 0
+
+    def test_perfect_improvement_bounds_colt(self):
+        """The perfect TLB must beat any real design (Fig 21 structure)."""
+        core = CoreModel(base_cpi=1.0, instructions_per_access=3.0)
+        baseline = evaluate_performance(mmu_after_run(), 128, core)
+        colt = evaluate_performance(
+            mmu_after_run(CoLTDesign.COLT_SA), 128, core
+        )
+        perfect = perfect_tlb_result(128, core)
+        assert (
+            perfect.improvement_over(baseline)
+            >= colt.improvement_over(baseline)
+            >= 0.0
+        )
+
+    def test_mpmi_helper(self):
+        core = CoreModel(instructions_per_access=2.0)
+        # 10 misses over 500 accesses = 1000 instructions -> 10000 MPMI.
+        assert mpmi(10, 500, core) == pytest.approx(10000.0)

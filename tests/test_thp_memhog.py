@@ -1,0 +1,163 @@
+"""Tests for THP management, system aging, and memhog."""
+
+import pytest
+
+from repro.common.rng import SeedSequencer
+from repro.contiguity import ContiguityReport
+from repro.osmem.kernel import Kernel, KernelConfig
+from repro.osmem.memhog import (
+    CHARACTERIZATION_AGING,
+    SIMULATION_AGING,
+    AgingProfile,
+    Memhog,
+    age_system,
+)
+
+
+@pytest.fixture
+def thp_kernel():
+    return Kernel(
+        KernelConfig(num_frames=4096, kernel_reserved_fraction=0.0)
+    )
+
+
+class TestThpManager:
+    def test_eligible_chunk_requires_anonymous(self, thp_kernel):
+        from repro.osmem.vma import VMAKind
+
+        process = thp_kernel.create_process("p")
+        vma = process.mmap(1024, kind=VMAKind.FILE_BACKED, align_huge=True)
+        assert (
+            thp_kernel.thp.eligible_chunk(process, vma, vma.start_vpn)
+            is None
+        )
+
+    def test_eligible_chunk_requires_unpopulated(self, thp_kernel):
+        process = thp_kernel.create_process("p")
+        vma = process.mmap(1024, align_huge=True)
+        chunk = vma.start_vpn
+        assert thp_kernel.thp.eligible_chunk(process, vma, chunk) == chunk
+        process.note_populated(chunk + 5)
+        assert thp_kernel.thp.eligible_chunk(process, vma, chunk) is None
+
+    def test_try_fault_huge_accounts_frames(self, thp_kernel):
+        process = thp_kernel.create_process("p")
+        vma = process.mmap(512, align_huge=True)
+        assert thp_kernel.thp.try_fault_huge(process, vma.start_vpn)
+        assert process.resident_pages == 512
+        assert thp_kernel.thp.active_superpages == 1
+
+    def test_fallback_when_no_order9(self):
+        kernel = Kernel(
+            KernelConfig(num_frames=2048, kernel_reserved_fraction=0.0)
+        )
+        # Consume the order-9+ blocks.
+        blocker = kernel.create_process("blocker")
+        kernel.malloc(blocker, 1900, populate=True, thp_eligible=False)
+        process = kernel.create_process("p")
+        vma = process.mmap(512, align_huge=True)
+        assert not kernel.thp.try_fault_huge(process, vma.start_vpn)
+        assert kernel.thp.counters["huge_fallbacks"] == 1
+
+    def test_split_one_leaves_residual_contiguity(self, thp_kernel):
+        process = thp_kernel.create_process("p")
+        vma = process.mmap(512, align_huge=True)
+        thp_kernel.thp.try_fault_huge(process, vma.start_vpn)
+        assert thp_kernel.thp.split_one(lambda pid: process)
+        report = ContiguityReport.from_process(process)
+        assert report.superpage_pages == 0
+        # The split leaves one perfectly contiguous 512-page run.
+        assert report.average_contiguity == pytest.approx(512.0)
+
+    def test_split_one_empty_returns_false(self, thp_kernel):
+        assert not thp_kernel.thp.split_one(lambda pid: None)
+
+    def test_split_notifies_invalidation(self, thp_kernel):
+        events = []
+        kernel = thp_kernel
+        kernel.add_invalidation_listener(
+            lambda pid, vpn, count: events.append((pid, vpn, count))
+        )
+        process = kernel.create_process("p")
+        vma = process.mmap(512, align_huge=True)
+        kernel.thp.try_fault_huge(process, vma.start_vpn)
+        kernel.thp.split_one(kernel._resolve_process)
+        assert (process.pid, vma.start_vpn, 512) in events
+
+
+class TestAging:
+    def test_aging_fragments_memory(self):
+        kernel = Kernel(KernelConfig(num_frames=8192))
+        age_system(kernel, SeedSequencer(3))
+        # Memory is meaningfully occupied and the buddy lists are broken
+        # into many blocks.
+        assert kernel.physical.free_frames < 8192 * 0.9
+        assert kernel.physical.fragmentation_index() > 0.3
+
+    def test_aging_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            kernel = Kernel(KernelConfig(num_frames=4096))
+            age_system(kernel, SeedSequencer(11))
+            results.append(kernel.physical.free_frames)
+        assert results[0] == results[1]
+
+    def test_simulation_aging_depletes_order9(self):
+        kernel = Kernel(KernelConfig(num_frames=8192))
+        age_system(kernel, SeedSequencer(3), SIMULATION_AGING)
+        assert not kernel.buddy.can_allocate(9)
+        # ... but mid-order blocks survive.
+        assert kernel.buddy.can_allocate(6)
+
+    def test_characterization_ages_harder_than_simulation(self):
+        # Probe with page-at-a-time allocations: their contiguity is set
+        # by how much small shrapnel the aging left in the buddy lists.
+        frag = {}
+        for name, profile in (
+            ("char", CHARACTERIZATION_AGING),
+            ("sim", SIMULATION_AGING),
+        ):
+            kernel = Kernel(KernelConfig(num_frames=8192))
+            age_system(kernel, SeedSequencer(3), profile)
+            process = kernel.create_process("probe")
+            kernel.malloc(
+                process, 512, populate=True, populate_batch=1,
+                thp_eligible=False,
+            )
+            frag[name] = ContiguityReport.from_process(
+                process
+            ).average_contiguity
+        assert frag["sim"] > frag["char"]
+
+
+class TestMemhog:
+    def test_memhog_occupies_requested_fraction(self):
+        kernel = Kernel(KernelConfig(num_frames=4096))
+        hog = Memhog(kernel, 0.25, SeedSequencer(1))
+        hog.start()
+        assert hog.process.resident_pages >= 0.2 * 4096
+
+    def test_memhog_fraction_validated(self):
+        kernel = Kernel(KernelConfig(num_frames=4096))
+        with pytest.raises(Exception):
+            Memhog(kernel, 0.0)
+        with pytest.raises(Exception):
+            Memhog(kernel, 1.5)
+
+    def test_memhog_stop_releases_memory(self):
+        kernel = Kernel(KernelConfig(num_frames=4096))
+        free_before = kernel.physical.free_frames
+        hog = Memhog(kernel, 0.25, SeedSequencer(1))
+        hog.start()
+        hog.stop()
+        # Table-pool blocks stay pinned; everything else returns.
+        assert kernel.physical.free_frames >= free_before - 2 * (
+            1 << kernel.config.table_pool_order
+        )
+
+    def test_double_start_rejected(self):
+        kernel = Kernel(KernelConfig(num_frames=4096))
+        hog = Memhog(kernel, 0.25, SeedSequencer(1))
+        hog.start()
+        with pytest.raises(Exception):
+            hog.start()

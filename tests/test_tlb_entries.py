@@ -1,0 +1,174 @@
+"""Tests for CoLT's TLB entry formats."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import PageAttributes, Translation
+from repro.tlb.entries import CoalescedEntry, RangeEntry
+
+
+def run_of(start_vpn, start_pfn, length, attrs=PageAttributes.default_user()):
+    return [
+        Translation(start_vpn + i, start_pfn + i, attrs) for i in range(length)
+    ]
+
+
+class TestCoalescedEntry:
+    def test_from_run_full_group(self):
+        entry = CoalescedEntry.from_run(run_of(8, 100, 4), group_size=4)
+        assert entry.group_base_vpn == 8
+        assert entry.coalesced_count == 4
+        for offset in range(4):
+            assert entry.covers(8 + offset)
+            assert entry.ppn_for(8 + offset) == 100 + offset
+
+    def test_partial_group_with_offset_base(self):
+        # Translations for VPNs 10, 11 in group [8, 12).
+        entry = CoalescedEntry.from_run(run_of(10, 200, 2), group_size=4)
+        assert entry.group_base_vpn == 8
+        assert not entry.covers(8)
+        assert not entry.covers(9)
+        assert entry.covers(10)
+        assert entry.ppn_for(11) == 201
+
+    def test_base_ppn_corresponds_to_first_valid_bit(self):
+        entry = CoalescedEntry.from_run(run_of(9, 500, 3), group_size=4)
+        assert entry.first_valid_slot == 1
+        assert entry.base_ppn == 500
+        assert entry.ppn_for(9) == 500
+        assert entry.ppn_for(11) == 502
+
+    def test_ppn_for_uncovered_vpn_rejected(self):
+        entry = CoalescedEntry.from_run(run_of(8, 100, 2), group_size=4)
+        with pytest.raises(ConfigurationError):
+            entry.ppn_for(11)
+
+    def test_non_contiguous_pfns_rejected(self):
+        bad = [Translation(8, 100), Translation(9, 200)]
+        with pytest.raises(ConfigurationError):
+            CoalescedEntry.from_run(bad, group_size=4)
+
+    def test_non_contiguous_vpns_rejected(self):
+        bad = [Translation(8, 100), Translation(10, 102)]
+        with pytest.raises(ConfigurationError):
+            CoalescedEntry.from_run(bad, group_size=4)
+
+    def test_run_crossing_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedEntry.from_run(run_of(7, 100, 3), group_size=4)
+
+    def test_valid_bits_must_be_contiguous(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedEntry(8, 4, [True, False, True, False], 100,
+                           PageAttributes.default_user())
+
+    def test_group_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedEntry(0, 3, [True] * 3, 0, PageAttributes.default_user())
+
+    def test_misaligned_group_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedEntry(2, 4, [True] * 4, 0, PageAttributes.default_user())
+
+    def test_translation_for(self):
+        entry = CoalescedEntry.from_run(run_of(8, 100, 4), group_size=4)
+        translation = entry.translation_for(10)
+        assert translation.vpn == 10
+        assert translation.pfn == 102
+
+    def test_slice_for_smaller_group(self):
+        entry = CoalescedEntry.from_run(run_of(8, 100, 4), group_size=4)
+        sliced = entry.slice_for_group(10, group_size=2)
+        assert sliced.group_base_vpn == 10
+        assert sliced.coalesced_count == 2
+        assert sliced.ppn_for(10) == 102
+
+    def test_slice_outside_valid_bits_is_none(self):
+        entry = CoalescedEntry.from_run(run_of(10, 100, 2), group_size=4)
+        assert entry.slice_for_group(8, group_size=2) is None
+
+    def test_slice_cannot_widen(self):
+        entry = CoalescedEntry.from_run(run_of(8, 100, 2), group_size=2)
+        with pytest.raises(ConfigurationError):
+            entry.slice_for_group(8, group_size=4)
+
+    def test_singleton_entry_is_baseline_format(self):
+        entry = CoalescedEntry.from_run(run_of(13, 999, 1), group_size=1)
+        assert entry.group_size == 1
+        assert entry.covers(13)
+        assert not entry.covers(14)
+
+
+class TestRangeEntry:
+    def test_from_run(self):
+        entry = RangeEntry.from_run(run_of(100, 700, 6))
+        assert entry.span == 6
+        assert entry.covers(105)
+        assert not entry.covers(106)
+        assert entry.ppn_for(103) == 703
+
+    def test_non_contiguous_run_rejected(self):
+        bad = [Translation(1, 1), Translation(2, 5)]
+        with pytest.raises(ConfigurationError):
+            RangeEntry.from_run(bad)
+
+    def test_superpage_entry(self):
+        sp = Translation(512, 1024, is_superpage=True)
+        entry = RangeEntry.from_superpage(sp)
+        assert entry.span == 512
+        assert entry.is_superpage
+        assert entry.ppn_for(512 + 99) == 1024 + 99
+
+    def test_from_superpage_requires_superpage(self):
+        with pytest.raises(ConfigurationError):
+            RangeEntry.from_superpage(Translation(0, 0))
+
+    def test_superpage_span_enforced(self):
+        with pytest.raises(ConfigurationError):
+            RangeEntry(0, 100, 0, PageAttributes.default_user(),
+                       is_superpage=True)
+
+    def test_merge_adjacent_ranges(self):
+        a = RangeEntry.from_run(run_of(10, 100, 4))
+        b = RangeEntry.from_run(run_of(14, 104, 4))
+        assert a.mergeable_with(b, max_span=1024)
+        merged = a.merged(b, max_span=1024)
+        assert merged.base_vpn == 10
+        assert merged.span == 8
+        assert merged.ppn_for(17) == 107
+
+    def test_merge_is_symmetric(self):
+        a = RangeEntry.from_run(run_of(10, 100, 4))
+        b = RangeEntry.from_run(run_of(14, 104, 4))
+        merged = b.merged(a, max_span=1024)
+        assert merged.base_vpn == 10
+
+    def test_vpn_adjacent_but_pfn_disjoint_not_mergeable(self):
+        a = RangeEntry.from_run(run_of(10, 100, 4))
+        b = RangeEntry.from_run(run_of(14, 500, 4))
+        assert not a.mergeable_with(b, max_span=1024)
+
+    def test_max_span_limits_merging(self):
+        a = RangeEntry.from_run(run_of(0, 0, 6))
+        b = RangeEntry.from_run(run_of(6, 6, 6))
+        assert not a.mergeable_with(b, max_span=8)
+
+    def test_attribute_mismatch_blocks_merge(self):
+        a = RangeEntry.from_run(run_of(0, 0, 4))
+        b = RangeEntry.from_run(
+            run_of(4, 4, 4, attrs=PageAttributes.PRESENT)
+        )
+        assert not a.mergeable_with(b, max_span=1024)
+
+    def test_superpages_never_merge(self):
+        sp = RangeEntry.from_superpage(
+            Translation(512, 1024, is_superpage=True)
+        )
+        adjacent = RangeEntry.from_run(run_of(1024, 1536, 4))
+        assert not sp.mergeable_with(adjacent, max_span=4096)
+
+    def test_unmergeable_merge_raises(self):
+        a = RangeEntry.from_run(run_of(0, 0, 2))
+        b = RangeEntry.from_run(run_of(10, 10, 2))
+        with pytest.raises(ConfigurationError):
+            a.merged(b, max_span=1024)

@@ -1,0 +1,148 @@
+"""Tests for VMAs, address spaces, and the process model."""
+
+import pytest
+
+from repro.common.constants import SUPERPAGE_PAGES
+from repro.common.errors import PageFaultError
+from repro.osmem.process import Process
+from repro.osmem.vma import VMA, AddressSpace, VMAKind
+
+
+class TestVMA:
+    def test_bounds(self):
+        vma = VMA(start_vpn=100, num_pages=10)
+        assert vma.end_vpn == 110
+        assert vma.contains(100)
+        assert vma.contains(109)
+        assert not vma.contains(110)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            VMA(start_vpn=-1, num_pages=1)
+        with pytest.raises(ValueError):
+            VMA(start_vpn=0, num_pages=0)
+
+    def test_huge_aligned_chunks(self):
+        vma = VMA(start_vpn=100, num_pages=2000)
+        chunks = list(vma.huge_aligned_chunks())
+        assert chunks == [512, 1024, 1536]
+        for chunk in chunks:
+            assert chunk % SUPERPAGE_PAGES == 0
+            assert chunk >= vma.start_vpn
+            assert chunk + SUPERPAGE_PAGES <= vma.end_vpn
+
+    def test_no_chunks_in_small_vma(self):
+        assert list(VMA(0, 100).huge_aligned_chunks()) == []
+
+    def test_chunk_for_interior_page(self):
+        vma = VMA(0, 2048)
+        assert vma.chunk_for(700) == 512
+
+    def test_chunk_for_edge_page_outside(self):
+        vma = VMA(100, 600)  # chunk [512, 1024) exceeds end (700)
+        assert vma.chunk_for(600) is None
+
+
+class TestAddressSpace:
+    def test_map_returns_disjoint_regions(self):
+        space = AddressSpace()
+        a = space.map(100)
+        b = space.map(200)
+        assert a.end_vpn <= b.start_vpn
+
+    def test_guard_gap_between_regions(self):
+        space = AddressSpace()
+        a = space.map(10)
+        b = space.map(10)
+        assert b.start_vpn >= a.end_vpn + AddressSpace.GUARD_PAGES
+
+    def test_align_huge_rounds_start(self):
+        space = AddressSpace()
+        space.map(10)
+        aligned = space.map(600, align_huge=True)
+        assert aligned.start_vpn % SUPERPAGE_PAGES == 0
+
+    def test_find(self):
+        space = AddressSpace()
+        vma = space.map(50)
+        assert space.find(vma.start_vpn + 10) is vma
+        assert space.find(vma.end_vpn) is None
+
+    def test_require_raises_for_unmapped(self):
+        with pytest.raises(PageFaultError):
+            AddressSpace().require(5)
+
+    def test_map_fixed_overlap_rejected(self):
+        space = AddressSpace()
+        space.map_fixed(1000, 100)
+        with pytest.raises(PageFaultError):
+            space.map_fixed(1050, 100)
+
+    def test_map_fixed_non_overlapping_ok(self):
+        space = AddressSpace()
+        space.map_fixed(1000, 100)
+        vma = space.map_fixed(2000, 100)
+        assert space.find(2050) is vma
+
+    def test_unmap(self):
+        space = AddressSpace()
+        vma = space.map(10)
+        space.unmap(vma)
+        assert space.find(vma.start_vpn) is None
+
+    def test_unmap_foreign_vma_rejected(self):
+        space = AddressSpace()
+        space.map(10)
+        with pytest.raises(PageFaultError):
+            space.unmap(VMA(999999, 10))
+
+    def test_total_pages(self):
+        space = AddressSpace()
+        space.map(10)
+        space.map(32)
+        assert space.total_pages == 42
+
+
+class TestProcess:
+    def test_pid_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Process(0)
+
+    def test_population_tracking(self):
+        process = Process(1)
+        process.mmap(100)
+        process.note_populated(process.address_space.find(
+            0x10_0000).start_vpn, 5)
+        assert process.resident_pages == 5
+
+    def test_unpopulated_run_respects_limit_and_vma_end(self):
+        process = Process(1)
+        vma = process.mmap(10)
+        assert process.unpopulated_run_from(vma.start_vpn, 100) == 10
+        assert process.unpopulated_run_from(vma.start_vpn, 4) == 4
+
+    def test_unpopulated_run_stops_at_populated_page(self):
+        process = Process(1)
+        vma = process.mmap(10)
+        process.note_populated(vma.start_vpn + 3)
+        assert process.unpopulated_run_from(vma.start_vpn, 100) == 3
+
+    def test_chunk_is_unpopulated(self):
+        process = Process(1)
+        vma = process.mmap(2048, align_huge=True)
+        chunk = vma.start_vpn
+        assert process.chunk_is_unpopulated(chunk)
+        process.note_populated(chunk + 17)
+        assert not process.chunk_is_unpopulated(chunk)
+
+    def test_note_unpopulated(self):
+        process = Process(1)
+        vma = process.mmap(10)
+        process.note_populated(vma.start_vpn, 10)
+        process.note_unpopulated(vma.start_vpn + 2, 3)
+        assert process.resident_pages == 7
+
+    def test_thp_eligibility_passthrough(self):
+        process = Process(1)
+        vma = process.mmap(1024, thp_eligible=False)
+        assert not vma.thp_eligible

@@ -1,0 +1,81 @@
+"""Tests for the hardware page-table walker."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mmu_cache import MMUCache
+from repro.common.errors import TranslationError
+from repro.osmem.page_table import PageTable
+from repro.walker.page_walker import PageWalker
+
+
+@pytest.fixture
+def table():
+    table = PageTable()
+    for vpn in range(64, 96):
+        table.map_page(vpn, vpn + 5000)
+    table.map_superpage(1024, 8192)
+    return table
+
+
+@pytest.fixture
+def walker(table):
+    return PageWalker(table, CacheHierarchy(), MMUCache())
+
+
+class TestWalks:
+    def test_walk_returns_translation(self, walker):
+        result = walker.walk(70)
+        assert result.translation.vpn == 70
+        assert result.translation.pfn == 5070
+
+    def test_unmapped_walk_raises(self, walker):
+        with pytest.raises(TranslationError):
+            walker.walk(9999)
+
+    def test_cache_line_carries_neighbours(self, walker):
+        result = walker.walk(70)
+        vpns = {t.vpn for t in result.cache_line_translations}
+        # Line base = 70 & ~7 = 64: all eight PTEs are mapped.
+        assert vpns == set(range(64, 72))
+
+    def test_superpage_walk_has_no_coalescing_window(self, walker):
+        result = walker.walk(1024 + 7)
+        assert result.translation.is_superpage
+        assert result.cache_line_translations == ()
+
+    def test_first_walk_fetches_all_levels(self, walker):
+        result = walker.walk(70)
+        assert result.memory_accesses == 4
+
+    def test_mmu_cache_accelerates_second_walk(self, walker):
+        first = walker.walk(70)
+        second = walker.walk(71)
+        assert second.memory_accesses == 1  # PDE cached: PTE fetch only
+        assert second.latency < first.latency
+
+    def test_walk_without_mmu_cache(self, table):
+        walker = PageWalker(table, CacheHierarchy(), mmu_cache=None)
+        assert walker.walk(70).memory_accesses == 4
+        assert walker.walk(71).memory_accesses == 4
+
+    def test_llc_warms_across_walks(self, table):
+        walker = PageWalker(table, CacheHierarchy(), mmu_cache=None)
+        cold = walker.walk(70).latency
+        warm = walker.walk(70).latency
+        assert warm < cold
+
+    def test_counters_accumulate(self, walker):
+        walker.walk(64)
+        walker.walk(65)
+        assert walker.counters["walks"] == 2
+        assert walker.counters["levels_fetched"] >= 5
+
+    def test_retarget_flushes_mmu_cache(self, walker):
+        walker.walk(70)
+        other = PageTable()
+        other.map_page(70, 1)
+        walker.retarget(other)
+        result = walker.walk(70)
+        assert result.translation.pfn == 1
+        assert result.memory_accesses == 4  # cold MMU cache again

@@ -1,0 +1,216 @@
+"""Tests for access patterns, benchmark profiles, and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import make_rng
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    TABLE1_ORDER,
+    TABLE1_PAPER_MPMI,
+    BenchmarkProfile,
+    RegionSpec,
+    all_benchmarks,
+    get_benchmark,
+)
+from repro.workloads.patterns import (
+    PATTERNS,
+    PhaseSpec,
+    generate_phase,
+    interleave_phases,
+)
+from repro.workloads.trace import Trace, generate_trace, scaled_region_pages
+
+
+class TestPhaseSpec:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec("mystery", "region")
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec("random", "r", weight=0)
+
+    def test_all_registered_patterns_generate(self):
+        rng = make_rng(1, "t")
+        for name in PATTERNS:
+            spec = PhaseSpec(name, "r")
+            offsets = generate_phase(spec, 100, 500, rng)
+            assert len(offsets) == 500
+            assert offsets.min() >= 0
+            assert offsets.max() < 100
+
+
+class TestPatternCharacter:
+    def test_sequential_advances_by_one(self):
+        spec = PhaseSpec("sequential", "r", accesses_per_page=1)
+        offsets = generate_phase(spec, 1000, 100, make_rng(1, "a"))
+        deltas = np.diff(offsets) % 1000
+        assert (deltas == 1).all()
+
+    def test_accesses_per_page_densifies(self):
+        spec = PhaseSpec("sequential", "r", accesses_per_page=4)
+        offsets = generate_phase(spec, 1000, 100, make_rng(1, "a"))
+        # Each page appears 4 times consecutively.
+        unique_transitions = (np.diff(offsets) != 0).sum()
+        assert unique_transitions <= 100 / 4
+
+    def test_strided_uses_stride(self):
+        spec = PhaseSpec("strided", "r", accesses_per_page=1, stride=8)
+        offsets = generate_phase(spec, 1024, 64, make_rng(1, "a"))
+        deltas = np.diff(offsets) % 1024
+        assert (deltas == 8).all()
+
+    def test_zipf_concentrates_on_hot_subset(self):
+        spec = PhaseSpec(
+            "zipf", "r", accesses_per_page=1,
+            hot_fraction=0.1, hot_weight=0.9,
+        )
+        offsets = generate_phase(spec, 1000, 20_000, make_rng(1, "a"))
+        hot_hits = (offsets < 100).mean()
+        assert 0.85 < hot_hits < 0.95
+
+    def test_zipf_uniform_subset_mode(self):
+        # hot_weight=1.0 makes zipf a uniform generator over the subset.
+        spec = PhaseSpec(
+            "zipf", "r", accesses_per_page=1,
+            hot_fraction=0.05, hot_weight=1.0,
+        )
+        offsets = generate_phase(spec, 1000, 5000, make_rng(1, "a"))
+        assert offsets.max() < 50
+
+    def test_pointer_chase_visits_every_page_per_cycle(self):
+        spec = PhaseSpec("pointer_chase", "r", accesses_per_page=1)
+        offsets = generate_phase(spec, 64, 64, make_rng(1, "a"))
+        assert set(offsets.tolist()) == set(range(64))
+
+    def test_pointer_chase_has_no_spatial_locality(self):
+        spec = PhaseSpec("pointer_chase", "r", accesses_per_page=1)
+        offsets = generate_phase(spec, 4096, 4096, make_rng(1, "a"))
+        adjacent = (np.abs(np.diff(offsets)) == 1).mean()
+        assert adjacent < 0.01
+
+    def test_region_offset_rotates_footprint(self):
+        spec = PhaseSpec(
+            "zipf", "r", accesses_per_page=1,
+            hot_fraction=0.1, hot_weight=1.0, region_offset=0.5,
+        )
+        offsets = generate_phase(spec, 1000, 2000, make_rng(1, "a"))
+        assert offsets.min() >= 500
+        assert offsets.max() < 600
+
+
+class TestInterleave:
+    def test_total_length(self):
+        rng = make_rng(2, "i")
+        streams = {0: np.zeros(2000, dtype=np.int64),
+                   1: np.ones(2000, dtype=np.int64)}
+        out = interleave_phases(streams, {0: 0.5, 1: 0.5}, 1000, rng)
+        assert len(out) == 1000
+
+    def test_weights_respected_approximately(self):
+        rng = make_rng(2, "i")
+        streams = {0: np.zeros(40_000, dtype=np.int64),
+                   1: np.ones(40_000, dtype=np.int64)}
+        out = interleave_phases(streams, {0: 0.8, 1: 0.2}, 20_000, rng)
+        assert 0.7 < (out == 0).mean() < 0.9
+
+    def test_bursts_preserve_phase_runs(self):
+        rng = make_rng(2, "i")
+        streams = {0: np.zeros(4000, dtype=np.int64),
+                   1: np.ones(4000, dtype=np.int64)}
+        out = interleave_phases(streams, {0: 0.5, 1: 0.5}, 2000, rng, chunk=100)
+        transitions = (np.diff(out) != 0).sum()
+        assert transitions < 2000 / 50  # coarse bursts, not per-access mixing
+
+
+class TestBenchmarkProfiles:
+    def test_fourteen_benchmarks_defined(self):
+        assert len(BENCHMARKS) == 14
+        assert set(TABLE1_ORDER) == set(BENCHMARKS)
+        assert set(TABLE1_PAPER_MPMI) == set(BENCHMARKS)
+
+    def test_all_benchmarks_ordering(self):
+        assert [b.name for b in all_benchmarks()] == list(TABLE1_ORDER)
+
+    def test_get_benchmark_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("doom")
+
+    def test_profiles_are_internally_consistent(self):
+        for profile in all_benchmarks():
+            assert profile.total_pages > 0
+            assert profile.suite in ("spec", "biobench")
+            total_weight = sum(p.weight for p in profile.phases)
+            assert total_weight == pytest.approx(1.0, abs=0.05), profile.name
+
+    def test_phase_region_validation(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(
+                name="bad", suite="spec",
+                regions=(RegionSpec("a", 10),),
+                phases=(PhaseSpec("random", "missing"),),
+            )
+
+    def test_duplicate_regions_rejected(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(
+                name="bad", suite="spec",
+                regions=(RegionSpec("a", 10), RegionSpec("a", 10)),
+                phases=(),
+            )
+
+    def test_region_lookup(self):
+        mcf = get_benchmark("mcf")
+        assert mcf.region("arcs").pages == 20000
+        with pytest.raises(WorkloadError):
+            mcf.region("nothing")
+
+
+class TestTraceGeneration:
+    def test_scaled_region_pages(self):
+        mcf = get_benchmark("mcf")
+        pages = scaled_region_pages(mcf, 0.5)
+        assert pages["arcs"] == 10000
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            scaled_region_pages(get_benchmark("mcf"), 0)
+
+    def test_trace_stays_inside_regions(self):
+        profile = get_benchmark("milc")
+        bases = {"lattice": 50_000}
+        trace = generate_trace(profile, bases, 5000, make_rng(3, "t"))
+        assert trace.vpns.min() >= 50_000
+        assert trace.vpns.max() < 50_000 + profile.region("lattice").pages
+
+    def test_trace_is_deterministic_in_seed(self):
+        profile = get_benchmark("gobmk")
+        bases = {"board_cache": 1000}
+        a = generate_trace(profile, bases, 2000, make_rng(9, "t"))
+        b = generate_trace(profile, bases, 2000, make_rng(9, "t"))
+        assert np.array_equal(a.vpns, b.vpns)
+
+    def test_missing_region_base_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_trace(get_benchmark("mcf"), {}, 100, make_rng(1, "t"))
+
+    def test_trace_roundtrip(self, tmp_path):
+        profile = get_benchmark("gobmk")
+        trace = generate_trace(
+            profile, {"board_cache": 77}, 500, make_rng(1, "t")
+        )
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.benchmark == "gobmk"
+        assert np.array_equal(loaded.vpns, trace.vpns)
+        assert loaded.region_bases == {"board_cache": 77}
+
+    def test_unique_pages(self):
+        profile = get_benchmark("gobmk")
+        trace = generate_trace(
+            profile, {"board_cache": 0}, 3000, make_rng(1, "t")
+        )
+        assert 0 < trace.unique_pages <= profile.total_pages
