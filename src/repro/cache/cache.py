@@ -10,7 +10,7 @@ tagged, with true LRU per set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.common.constants import CACHE_LINE_SHIFT, CACHE_LINE_SIZE
 from repro.common.errors import ConfigurationError

@@ -13,8 +13,7 @@ The hierarchy serves two access streams:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
 
 from repro.common.constants import (
     DEFAULT_DRAM_LATENCY,

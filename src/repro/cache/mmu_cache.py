@@ -14,7 +14,7 @@ levels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.common.constants import (
     BITS_PER_LEVEL,

@@ -38,3 +38,11 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown id or bad config."""
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer detected a violated simulator invariant."""
+
+
+class DeterminismError(ReproError):
+    """Two same-seed simulations diverged (hidden nondeterminism)."""

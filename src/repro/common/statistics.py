@@ -7,8 +7,8 @@ can snapshot, diff, and report them uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
 
 
 class CounterSet:

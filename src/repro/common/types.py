@@ -10,7 +10,7 @@ and easy to test.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.constants import PAGE_SHIFT

@@ -11,7 +11,7 @@ indexing scheme can hold.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.common.types import Translation
 

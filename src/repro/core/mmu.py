@@ -25,9 +25,10 @@ principle 2, Section 4).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from repro.analysis.sanitizers import TLBSanitizer, resolve_sanitize
 from repro.common.constants import (
     COLT_FA_TLB_ENTRIES,
     DEFAULT_COLT_SA_SHIFT,
@@ -105,6 +106,11 @@ class MMUConfig:
                 raise ConfigurationError(
                     "CoLT-FA keeps conventional set-associative indexing"
                 )
+        if self.l1.group_size > self.l2.group_size:
+            raise ConfigurationError(
+                "L1 group size must not exceed L2's: the L2 is inclusive "
+                "of the SA L1, so every L1 fill must fit one L2 entry"
+            )
 
     @property
     def effective_all_threshold(self) -> int:
@@ -186,12 +192,23 @@ def make_mmu_config(
 class MMU:
     """Per-access translation engine with pluggable CoLT design."""
 
-    def __init__(self, config: MMUConfig, walker: PageWalker) -> None:
+    def __init__(
+        self,
+        config: MMUConfig,
+        walker: PageWalker,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self.config = config
         self.walker = walker
         self.l1 = SetAssociativeTLB(config.l1)
         self.l2 = SetAssociativeTLB(config.l2)
         self.superpage_tlb = FullyAssociativeTLB(config.superpage)
+        #: Optional :class:`TLBSanitizer`; ``sanitize=None`` defers to
+        #: the ``COLT_SANITIZE`` environment variable.
+        self.sanitizer: Optional[TLBSanitizer] = None
+        if resolve_sanitize(sanitize):
+            self.sanitizer = TLBSanitizer(self)
+            self.sanitizer.attach()
         self.counters = CounterSet(
             [
                 "accesses",
@@ -249,6 +266,8 @@ class MMU:
         self.counters.increment("walk_latency", walk.latency)
         latency += walk.latency
         self._fill(vpn, walk)
+        if self.sanitizer is not None:
+            self.sanitizer.after_fill(vpn)
         return "walk", latency
 
     def translate(self, vpn: int) -> LookupResult:
@@ -306,9 +325,39 @@ class MMU:
             run = clip_to_window(run, vpn, self.config.coalescing_window)
         return run
 
+    def _insert_l2(self, entry: CoalescedEntry) -> None:
+        """Install into L2, back-invalidating L1 copies L2 no longer holds.
+
+        The L2 is inclusive of the SA L1: when an L2 insert displaces a
+        resident entry (capacity eviction or overlap replacement), any L1
+        copy of a translation the L2 no longer covers must be dropped
+        too, exactly as inclusive hardware back-invalidates its inner
+        level. All L2 fills go through here so the invariant holds
+        unconditionally, sanitizers on or off.
+        """
+        for victim in self.l2.insert(entry):
+            for slot, valid in enumerate(victim.valid):
+                if not valid:
+                    continue
+                vpn = victim.group_base_vpn + slot
+                if self.l2.entry_for(vpn) is None:
+                    self.l1.invalidate(vpn)
+
+    def _insert_l2_translation(self, translation: Translation) -> None:
+        """Single-translation L2 fill routed through back-invalidation."""
+        group = self.config.l2.group_size
+        base = translation.vpn - (translation.vpn % group)
+        valid = [False] * group
+        valid[translation.vpn - base] = True
+        self._insert_l2(
+            CoalescedEntry(
+                base, group, valid, translation.pfn, translation.attributes
+            )
+        )
+
     def _fill_baseline(self, translation: Translation) -> None:
+        self._insert_l2_translation(translation)
         self.l1.insert_translation(translation)
-        self.l2.insert_translation(translation)
         self.counters.increment("uncoalesced_fills")
 
     def _fill_colt_sa(self, vpn: int, walk) -> None:
@@ -316,7 +365,7 @@ class MMU:
         run = self._coalescible_run(vpn, walk)
         l2_run = clip_to_group(run, vpn, self.config.l2.group_size)
         l2_entry = CoalescedEntry.from_run(l2_run, self.config.l2.group_size)
-        self.l2.insert(l2_entry)
+        self._insert_l2(l2_entry)
         l1_run = clip_to_group(run, vpn, self.config.l1.group_size)
         l1_entry = CoalescedEntry.from_run(l1_run, self.config.l1.group_size)
         self.l1.insert(l1_entry)
@@ -330,7 +379,7 @@ class MMU:
             if self.config.fa_fill_l2:
                 # Echo only the demanded translation into L2; the L1 is
                 # left untouched (Section 4.2.1).
-                self.l2.insert_translation(walk.translation)
+                self._insert_l2_translation(walk.translation)
             self.counters.increment("fa_routed_fills")
         else:
             self._fill_baseline(walk.translation)
@@ -351,7 +400,7 @@ class MMU:
             # Unlike CoLT-FA, bring as much of the run as the L2's index
             # scheme allows (Section 4.3.1).
             l2_run = clip_to_group(run, vpn, self.config.l2.group_size)
-            self.l2.insert(
+            self._insert_l2(
                 CoalescedEntry.from_run(l2_run, self.config.l2.group_size)
             )
         self._count_fill(len(run))
@@ -380,6 +429,8 @@ class MMU:
         self.superpage_tlb.invalidate(vpn)
         if self.walker.mmu_cache is not None:
             self.walker.mmu_cache.invalidate_vpn(vpn)
+        if self.sanitizer is not None:
+            self.sanitizer.after_invalidate(vpn)
 
     def invalidate_range(self, start_vpn: int, count: int) -> None:
         for vpn in range(start_vpn, start_vpn + count):

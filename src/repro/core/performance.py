@@ -28,7 +28,6 @@ the instruction replays a real machine also pays on TLB misses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.statistics import misses_per_million, speedup_percent

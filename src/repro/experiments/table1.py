@@ -9,7 +9,7 @@ report the baseline TLB hierarchy's misses per million instructions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.sim.runner import ExperimentRunner
 from repro.workloads.benchmarks import TABLE1_PAPER_MPMI, get_benchmark

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizers import BuddySanitizer, resolve_sanitize
 from repro.common.constants import MAX_ORDER
 from repro.common.errors import AllocationError, ConfigurationError, OutOfMemoryError
 from repro.common.statistics import CounterSet
@@ -43,13 +44,23 @@ class BuddyAllocator:
       have been merged).
     """
 
-    def __init__(self, num_frames: int, max_order: int = MAX_ORDER) -> None:
+    def __init__(
+        self,
+        num_frames: int,
+        max_order: int = MAX_ORDER,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         if num_frames < 1:
             raise ConfigurationError(f"num_frames must be >= 1, got {num_frames}")
         if max_order < 1:
             raise ConfigurationError(f"max_order must be >= 1, got {max_order}")
         self._num_frames = num_frames
         self._max_order = max_order
+        #: Optional :class:`BuddySanitizer` hook; ``sanitize=None`` defers
+        #: to the ``COLT_SANITIZE`` environment variable.
+        self.sanitizer: Optional[BuddySanitizer] = (
+            BuddySanitizer(self) if resolve_sanitize(sanitize) else None
+        )
         # Per-order LIFO of free block starts. OrderedDict gives O(1)
         # push/pop/remove-by-key, and LIFO matches Linux's hot-block reuse.
         self._free_lists: List["OrderedDict[int, None]"] = [
@@ -145,6 +156,8 @@ class BuddyAllocator:
                     self._insert_block(buddy, search_order)
                     self.counters.increment("splits")
                 self.counters.increment("allocations")
+                if self.sanitizer is not None:
+                    self.sanitizer.after_op()
                 return start
         self.counters.increment("failed_allocations")
         raise OutOfMemoryError(
@@ -234,6 +247,8 @@ class BuddyAllocator:
         for pfn in range(start, start + length):
             self._take_single_frame(pfn)
         self.counters.increment("allocations")
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
 
     def _take_single_frame(self, pfn: int) -> None:
         block = self._find_block_containing(pfn)
@@ -286,6 +301,8 @@ class BuddyAllocator:
             order += 1
             self.counters.increment("merges")
         self._insert_block(start, order)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
 
     def free_run(self, start: int, length: int) -> None:
         """Free an arbitrary (not necessarily aligned) run of frames."""

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.common.errors import TranslationError
 from repro.common.statistics import CounterSet
 from repro.osmem.buddy import BuddyAllocator
 from repro.osmem.physical import KERNEL_PID, PhysicalMemory

@@ -15,12 +15,10 @@ a last resort before OOM).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.common.constants import MAX_ORDER
+from repro.analysis.sanitizers import PageTableSanitizer, resolve_sanitize
 from repro.common.errors import ConfigurationError, OutOfMemoryError, PageFaultError
 from repro.common.rng import SeedSequencer
 from repro.common.statistics import CounterSet
@@ -103,10 +101,23 @@ class KernelConfig:
 class Kernel:
     """The simulated operating system's memory manager."""
 
-    def __init__(self, config: KernelConfig = KernelConfig()) -> None:
+    def __init__(
+        self,
+        config: KernelConfig = KernelConfig(),
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self.config = config
         self.physical = PhysicalMemory(config.num_frames)
-        self.buddy = BuddyAllocator(config.num_frames)
+        self.buddy = BuddyAllocator(config.num_frames, sanitize=sanitize)
+        #: Optional :class:`PageTableSanitizer`; ``sanitize=None`` defers
+        #: to the ``COLT_SANITIZE`` environment variable.
+        self.sanitizer: Optional[PageTableSanitizer] = None
+        if resolve_sanitize(sanitize):
+            self.sanitizer = PageTableSanitizer(self)
+            if self.buddy.sanitizer is not None:
+                # Give the buddy sanitizer the frame map so its quiescent
+                # accounting cross-check can compare free-page tallies.
+                self.buddy.sanitizer.physical = self.physical
         self._processes: Dict[int, Process] = {}
         self._next_pid = 1
         self._reclaim_victims: List[int] = []
@@ -231,6 +242,10 @@ class Kernel:
         """
         if process.pid not in self._reclaim_victims:
             self._reclaim_victims.append(process.pid)
+
+    def is_reclaim_victim(self, pid: int) -> bool:
+        """Whether ``pid``'s pages may be reclaimed under pressure."""
+        return pid in self._reclaim_victims
 
     # ------------------------------------------------------------------
     # Allocation API used by workloads.
@@ -359,6 +374,15 @@ class Kernel:
 
     def _fault_at(self, process: Process, vpn: int, batch_limit: int) -> int:
         """Handle a fault at ``vpn``; returns pages populated (>= 1)."""
+        faulted = self._do_fault_at(process, vpn, batch_limit)
+        if self.sanitizer is not None:
+            # The fault is fully retired here -- page table, frame map and
+            # buddy allocator are mutually quiescent -- so this is the
+            # sanctioned point for cross-structure checks.
+            self.sanitizer.after_fault(process, vpn)
+        return faulted
+
+    def _do_fault_at(self, process: Process, vpn: int, batch_limit: int) -> int:
         self.counters.increment("faults")
         vma = process.address_space.require(vpn)
 

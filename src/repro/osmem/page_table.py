@@ -20,7 +20,6 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.constants import (
     BITS_PER_LEVEL,
-    PAGE_SHIFT,
     PAGE_SIZE,
     PTE_SIZE,
     PTES_PER_CACHE_LINE,

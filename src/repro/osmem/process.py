@@ -10,10 +10,9 @@ same decisions Linux makes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Set
+from typing import Callable, Iterator, List, Optional, Set
 
 from repro.common.constants import SUPERPAGE_PAGES
-from repro.common.errors import PageFaultError
 from repro.common.types import Translation
 from repro.osmem.page_table import PageTable
 from repro.osmem.vma import VMA, AddressSpace, VMAKind

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.common.constants import SUPERPAGE_PAGES, VPN_BITS

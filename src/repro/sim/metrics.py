@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Iterable
 
 from repro.common.statistics import percent_eliminated
 from repro.core.mmu import CoLTDesign

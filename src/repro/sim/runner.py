@@ -8,8 +8,7 @@ Figure 21 reuses the runs Figure 18 already performed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mmu import CoLTDesign, MMUConfig
 from repro.sim.metrics import EliminationRow, PerformanceRow, elimination_row, performance_row

@@ -32,10 +32,9 @@ from repro.common.rng import SeedSequencer
 from repro.common.statistics import CounterSnapshot
 from repro.contiguity.scanner import ContiguityReport
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
-from repro.cache.mmu_cache import MMUCache, MMUCacheConfig
+from repro.cache.mmu_cache import MMUCache
 from repro.core.mmu import MMU, CoLTDesign, MMUConfig, make_mmu_config
 from repro.core.performance import (
-    CoreModel,
     PerformanceResult,
     evaluate_performance,
     perfect_tlb_result,
@@ -75,6 +74,11 @@ class SimulationConfig:
         llc_pollution_per_access: expected LLC lines evicted per access
             by the benchmark's data traffic (a proxy for routing every
             load/store through the cache model).
+        sanitize: attach the runtime sanitizers of
+            ``repro.analysis.sanitizers`` to the TLBs, buddy allocator
+            and page tables. ``None`` (the default) defers to the
+            ``COLT_SANITIZE`` environment variable; simulated behaviour
+            is identical either way, sanitizers only observe.
     """
 
     benchmark: str = "mcf"
@@ -91,6 +95,7 @@ class SimulationConfig:
     churn_pages: int = 24
     churn_live_limit: int = 32
     llc_pollution_per_access: float = 0.01
+    sanitize: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.accesses < 1:
@@ -163,7 +168,7 @@ class SystemSimulator:
     def prepare(self) -> None:
         """Boot the kernel, age it, start memhog, lay out the benchmark."""
         config = self.config
-        self.kernel = Kernel(config.kernel)
+        self.kernel = Kernel(config.kernel, sanitize=config.sanitize)
         if config.aging is not None:
             self._daemons = age_system(self.kernel, self._seeds, config.aging)
         else:
@@ -208,7 +213,7 @@ class SystemSimulator:
         mmu_config = config.mmu or make_mmu_config(config.design)
         caches = CacheHierarchy(HierarchyConfig())
         walker = PageWalker(self.process.page_table, caches, MMUCache())
-        mmu = MMU(mmu_config, walker)
+        mmu = MMU(mmu_config, walker, sanitize=config.sanitize)
 
         bench_pid = self.process.pid
 
@@ -263,10 +268,13 @@ class SystemSimulator:
             if index % config.tick_every == 0:
                 kernel.tick()
 
+        # A parting full sweep: if anything drifted during the run, fail
+        # here rather than hand back silently-corrupt statistics.
+        self.sanity_check()
+
         # Discount the DRAM cost of compulsory PTE-line fetches: every
         # design pays them once per distinct line, and at the paper's
         # trace lengths they are negligible (see repro.core.performance).
-        import numpy as np  # local import keeps module load light
         distinct_lines = int(np.unique(trace.vpns >> 3).size)
         discount = float(
             distinct_lines * self._caches.config.dram_latency
@@ -298,7 +306,7 @@ class SystemSimulator:
         daemon = self._daemons[int(rng.integers(len(self._daemons)))]
         pages = max(1, int(self.config.churn_pages * (0.5 + rng.random())))
         try:
-            vma = daemon_vma = self.kernel.malloc(
+            daemon_vma = self.kernel.malloc(
                 daemon, pages, name="live_churn", populate=True
             )
         except OutOfMemoryError:
@@ -307,6 +315,22 @@ class SystemSimulator:
         while len(live) > self.config.churn_live_limit:
             victim_daemon, victim_vma = live.pop(0)
             self.kernel.free_vma(victim_daemon, victim_vma)
+
+    def sanity_check(self) -> None:
+        """Force a full scan of every attached sanitizer (no-op if off).
+
+        Raises :class:`repro.common.errors.SanitizerError` on the first
+        violated invariant.
+        """
+        if self.mmu is not None and self.mmu.sanitizer is not None:
+            self.mmu.sanitizer.full_scan()
+        if self.kernel is not None:
+            buddy_sanitizer = self.kernel.buddy.sanitizer
+            if buddy_sanitizer is not None:
+                buddy_sanitizer.full_scan()
+                buddy_sanitizer.check_accounting()
+            if self.kernel.sanitizer is not None:
+                self.kernel.sanitizer.full_scan()
 
     def _pollute_llc(self, lines: int) -> None:
         """Model the data stream's LLC pressure on PTE lines."""

@@ -31,6 +31,9 @@ class FullyAssociativeTLB:
 
     def __init__(self, config: FullyAssociativeTLBConfig) -> None:
         self.config = config
+        #: Optional sanitizer hook (see ``repro.analysis.sanitizers``);
+        #: when attached, every insert is incrementally validated.
+        self.sanitizer = None
         self._entries: dict = {}  # id -> RangeEntry
         self._lru: LRUTracker[int] = LRUTracker(config.entries)
         self._ids = itertools.count()
@@ -103,6 +106,8 @@ class FullyAssociativeTLB:
         self._entries[entry_id] = entry
         self._lru.touch(entry_id)
         self.counters.increment("fills")
+        if self.sanitizer is not None:
+            self.sanitizer.after_insert(self, entry)
         return victim
 
     def insert_superpage(self, translation: Translation) -> Optional[RangeEntry]:

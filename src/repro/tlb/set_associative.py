@@ -33,6 +33,9 @@ class SetAssociativeTLB:
 
     def __init__(self, config: SetAssociativeTLBConfig) -> None:
         self.config = config
+        #: Optional sanitizer hook (see ``repro.analysis.sanitizers``);
+        #: when attached, every insert is incrementally validated.
+        self.sanitizer = None
         # Per set: entry-id -> entry, plus an LRU tracker over entry ids.
         # Ids (not group bases) key the ways, because one group may
         # legitimately occupy several ways (see module docstring).
@@ -141,6 +144,8 @@ class SetAssociativeTLB:
         lru.touch(entry_id)
         self.counters.increment("fills")
         self.counters.increment("coalesced_translations", entry.coalesced_count)
+        if self.sanitizer is not None:
+            self.sanitizer.after_insert(self, entry)
         return displaced
 
     def _choose_victim(self, set_index: int) -> int:
@@ -272,3 +277,12 @@ class SetAssociativeTLB:
 
     def entries(self) -> List[CoalescedEntry]:
         return [e for bucket in self._sets for e in bucket.values()]
+
+    def iter_sets(self):
+        """Yield ``(set_index, entries)`` pairs; sanitizer introspection."""
+        for set_index, bucket in enumerate(self._sets):
+            yield set_index, list(bucket.values())
+
+    def set_entries(self, set_index: int) -> List[CoalescedEntry]:
+        """The entries resident in one set; sanitizer introspection."""
+        return list(self._sets[set_index].values())

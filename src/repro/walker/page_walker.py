@@ -10,7 +10,6 @@ without issuing extra memory references (Section 4.1.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import TranslationError

@@ -19,7 +19,7 @@ primitives span the locality spectrum the paper's benchmarks cover:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -7,8 +7,30 @@ real allocation, compaction, and TLB behaviour.
 
 import pytest
 
+from repro.analysis.sanitizers import SANITIZE_ENV
 from repro.common.rng import SeedSequencer
 from repro.osmem.kernel import Kernel, KernelConfig
+
+#: Test modules that always run with the runtime sanitizers attached:
+#: the structural suites, where an invariant break should fail loudly
+#: even when no assertion looks at the broken structure directly.
+_SANITIZED_MODULES = (
+    "test_system_integration",
+    "test_mmu",
+    "test_buddy",
+)
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_structural_suites(request, monkeypatch):
+    """Force ``COLT_SANITIZE=1`` for the structural test modules.
+
+    Sanitizers only observe, so enabling them changes no simulated
+    behaviour -- it just turns silent corruption into a loud
+    SanitizerError with the invariant spelled out.
+    """
+    if request.module.__name__ in _SANITIZED_MODULES:
+        monkeypatch.setenv(SANITIZE_ENV, "1")
 
 
 @pytest.fixture

@@ -1,0 +1,113 @@
+"""Tests for the same-seed determinism harness."""
+
+import pytest
+
+from repro.analysis.determinism import (
+    ALL_DESIGNS,
+    check_all_designs,
+    check_determinism,
+    os_state_digest,
+    state_digest,
+)
+from repro.common.errors import DeterminismError
+from repro.core.mmu import CoLTDesign
+from repro.osmem.kernel import KernelConfig
+from repro.sim.system import SimulationConfig, SystemSimulator
+
+
+def small_config(**overrides):
+    base = dict(
+        benchmark="gobmk",
+        kernel=KernelConfig(num_frames=2048, seed=5),
+        accesses=1500,
+        scale=0.25,
+        seed=17,
+        churn_every=0,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def run_once(config):
+    simulator = SystemSimulator(config)
+    simulator.prepare()
+    simulator.run()
+    return simulator
+
+
+class TestDigests:
+    def test_state_digest_is_repeatable(self):
+        config = small_config()
+        assert state_digest(run_once(config)) == state_digest(run_once(config))
+
+    def test_seed_changes_digest(self):
+        a = state_digest(run_once(small_config(seed=17)))
+        b = state_digest(run_once(small_config(seed=18)))
+        assert a != b
+
+    def test_os_digest_ignores_tlb_design(self):
+        a = os_state_digest(run_once(small_config(design=CoLTDesign.BASELINE)))
+        b = os_state_digest(run_once(small_config(design=CoLTDesign.COLT_ALL)))
+        assert a == b
+
+    def test_full_digest_sees_tlb_design(self):
+        a = state_digest(run_once(small_config(design=CoLTDesign.BASELINE)))
+        b = state_digest(run_once(small_config(design=CoLTDesign.COLT_ALL)))
+        assert a != b
+
+
+class TestCheckDeterminism:
+    def test_returns_common_digest(self):
+        config = small_config()
+        digest = check_determinism(config, runs=2)
+        assert digest == state_digest(run_once(config))
+
+    def test_sanitized_run_same_digest(self):
+        # Sanitizers observe; they must not perturb a single bit.
+        plain = check_determinism(small_config(sanitize=False), runs=1)
+        sanitized = check_determinism(small_config(sanitize=True), runs=1)
+        assert plain == sanitized
+
+
+class TestCheckAllDesigns:
+    def test_all_five_designs_deterministic(self):
+        digests = check_all_designs(small_config(), runs=2)
+        assert sorted(digests) == sorted(d.value for d in ALL_DESIGNS)
+        # Different TLB designs must not collapse to one digest.
+        assert len(set(digests.values())) > 1
+
+    def test_design_subset(self):
+        digests = check_all_designs(
+            small_config(),
+            designs=(CoLTDesign.BASELINE, CoLTDesign.COLT_SA),
+            runs=1,
+        )
+        assert set(digests) == {"baseline", "colt_sa"}
+
+
+class TestMismatchDetection:
+    def test_cross_design_os_divergence_raises(self, monkeypatch):
+        # Simulate a kernel whose evolution leaks TLB-design dependence
+        # by making the OS digest vary per call.
+        import repro.analysis.determinism as determinism
+
+        fakes = iter(["a" * 64, "b" * 64])
+        monkeypatch.setattr(
+            determinism, "os_state_digest", lambda sim: next(fakes)
+        )
+        with pytest.raises(DeterminismError, match="TLB-design-independent"):
+            check_all_designs(
+                small_config(),
+                designs=(CoLTDesign.BASELINE, CoLTDesign.COLT_SA),
+                runs=1,
+            )
+
+    def test_run_to_run_divergence_raises(self, monkeypatch):
+        import repro.analysis.determinism as determinism
+
+        fakes = iter(["a" * 64, "b" * 64])
+        monkeypatch.setattr(
+            determinism, "state_digest", lambda sim: next(fakes)
+        )
+        with pytest.raises(DeterminismError, match="hidden nondeterminism"):
+            check_determinism(small_config(), runs=2)

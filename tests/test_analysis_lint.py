@@ -1,0 +1,201 @@
+"""Tests for the determinism lint: every rule, the pragma, and the repo.
+
+Each rule gets fixtures proving it fires on a violation and stays quiet
+on the sanctioned alternative; the final test runs the real linter over
+``src`` and demands a clean bill -- the same check CI runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rules_of(source, path="sim/module.py"):
+    return [d.rule for d in lint_source(source, path)]
+
+
+class TestRngModuleState:
+    def test_import_random_flagged(self):
+        assert rules_of("import random\n") == ["rng-module-state"]
+
+    def test_from_random_flagged(self):
+        assert rules_of("from random import shuffle\n") == ["rng-module-state"]
+
+    def test_np_random_module_state_flagged(self):
+        source = "import numpy as np\nnp.random.seed(3)\n"
+        assert rules_of(source) == ["rng-module-state"]
+
+    def test_np_random_aliased_import_flagged(self):
+        source = "import numpy\nnumpy.random.shuffle([1])\n"
+        assert rules_of(source) == ["rng-module-state"]
+
+    def test_from_numpy_random_flagged(self):
+        source = "from numpy.random import default_rng\n"
+        assert rules_of(source) == ["rng-module-state"]
+
+    def test_default_rng_allowed_in_rng_module(self):
+        source = "from numpy.random import default_rng\n"
+        assert rules_of(source, "src/repro/common/rng.py") == []
+
+    def test_generator_type_import_allowed(self):
+        source = "from numpy.random import Generator, SeedSequence\n"
+        assert rules_of(source) == []
+
+    def test_np_random_generator_annotation_allowed(self):
+        source = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator):\n    return rng\n"
+        )
+        assert rules_of(source) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules_of("import time\ntime.time()\n") == ["wall-clock"]
+
+    def test_perf_counter_flagged(self):
+        assert rules_of("import time\ntime.perf_counter()\n") == ["wall-clock"]
+
+    def test_from_time_import_flagged(self):
+        assert rules_of("from time import time\n") == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        source = "from datetime import datetime\ndatetime.now()\n"
+        assert rules_of(source) == ["wall-clock"]
+
+    def test_datetime_module_path_flagged(self):
+        source = "import datetime\ndatetime.datetime.now()\n"
+        assert rules_of(source) == ["wall-clock"]
+
+    def test_allow_listed_files_pass(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert rules_of(source, "repro/experiments/__main__.py") == []
+        assert rules_of(source, "tools/calibrate.py") == []
+
+    def test_time_sleep_not_flagged(self):
+        # sleep blocks but does not read the clock into results.
+        assert rules_of("import time\ntime.sleep(1)\n") == []
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        assert rules_of("def f(x=[]):\n    return x\n") == ["mutable-default"]
+
+    def test_dict_call_flagged(self):
+        assert rules_of("def f(x=dict()):\n    return x\n") == [
+            "mutable-default"
+        ]
+
+    def test_kwonly_default_flagged(self):
+        assert rules_of("def f(*, x={}):\n    return x\n") == [
+            "mutable-default"
+        ]
+
+    def test_none_default_allowed(self):
+        assert rules_of("def f(x=None):\n    return x\n") == []
+
+    def test_tuple_default_allowed(self):
+        assert rules_of("def f(x=(1, 2)):\n    return x\n") == []
+
+
+class TestFloatEq:
+    def test_float_equality_flagged(self):
+        assert rules_of("ok = rate == 0.5\n", "m.py") == ["float-eq"]
+
+    def test_float_inequality_flagged(self):
+        assert rules_of("ok = rate != 1.5\n", "m.py") == ["float-eq"]
+
+    def test_negative_float_flagged(self):
+        assert rules_of("ok = x == -0.25\n", "m.py") == ["float-eq"]
+
+    def test_int_equality_allowed(self):
+        assert rules_of("ok = count == 5\n", "m.py") == []
+
+    def test_float_comparison_operators_allowed(self):
+        assert rules_of("ok = rate < 0.5 or rate >= 0.9\n", "m.py") == []
+
+
+class TestPragma:
+    def test_disable_single_rule(self):
+        source = "import time\nt = time.time()  # colt-lint: disable=wall-clock\n"
+        assert rules_of(source) == []
+
+    def test_disable_all(self):
+        source = "x = rate == 0.5  # colt-lint: disable=all\n"
+        assert rules_of(source) == []
+
+    def test_disable_wrong_rule_keeps_diagnostic(self):
+        source = "x = rate == 0.5  # colt-lint: disable=wall-clock\n"
+        assert rules_of(source) == ["float-eq"]
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+
+    def test_exit_one_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "rng-module-state" in out and "bad.py:1" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_directory_recursion(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("import random\n")
+        files = list(iter_python_files([tmp_path]))
+        assert len(files) == 1
+        assert len(lint_paths([tmp_path])) == 1
+
+    def test_syntax_error_reported(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        diagnostics = lint_paths([broken])
+        assert [d.rule for d in diagnostics] == ["syntax-error"]
+
+
+class TestRepoIsClean:
+    def test_src_lints_clean(self):
+        diagnostics = lint_paths([REPO_ROOT / "src"])
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+    def test_tools_lint_clean(self):
+        diagnostics = lint_paths([REPO_ROOT / "tools"])
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+    def test_all_rules_have_fixture_coverage(self):
+        # Guard against adding a rule without tests: the rule tuple is
+        # what this suite is organised around.
+        assert set(RULES) == {
+            "rng-module-state",
+            "wall-clock",
+            "mutable-default",
+            "float-eq",
+        }
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_each_rule_fires_somewhere(rule):
+    """Belt and braces: one violating snippet per rule."""
+    samples = {
+        "rng-module-state": "import random\n",
+        "wall-clock": "import time\ntime.time()\n",
+        "mutable-default": "def f(x=[]):\n    return x\n",
+        "float-eq": "ok = x == 0.5\n",
+    }
+    assert rules_of(samples[rule]) == [rule]

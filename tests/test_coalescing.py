@@ -79,6 +79,27 @@ class TestClipToGroup:
             clip_to_group(run, 9, group_size=4)
 
 
+class TestRunEndpoints:
+    """Runs demanded at their own endpoints (first/last slot of a line)."""
+
+    def test_demand_at_run_start(self):
+        translations = line(*[(8 + i, 100 + i) for i in range(8)])
+        run = contiguous_run_around(translations, 8)
+        assert [t.vpn for t in run] == list(range(8, 16))
+
+    def test_demand_at_run_end(self):
+        translations = line(*[(8 + i, 100 + i) for i in range(8)])
+        run = contiguous_run_around(translations, 15)
+        assert [t.vpn for t in run] == list(range(8, 16))
+
+    def test_singleton_at_line_start_and_end(self):
+        # Neighbours exist but never chain (PFNs jump): endpoint pages
+        # must come back as singleton runs, not crash the growth loops.
+        translations = line((8, 1), (9, 50), (15, 90))
+        assert [t.vpn for t in contiguous_run_around(translations, 8)] == [8]
+        assert [t.vpn for t in contiguous_run_around(translations, 15)] == [15]
+
+
 class TestClipToWindow:
     def test_short_run_unchanged(self):
         run = line((8, 1), (9, 2))
@@ -99,3 +120,62 @@ class TestClipToWindow:
     def test_invalid_window_rejected(self):
         with pytest.raises(ValueError):
             clip_to_window(line((0, 0)), 0, 0)
+
+    def test_window_equal_to_line_is_identity(self):
+        # The natural coalescing window IS the 8-PTE cache line: a
+        # window of exactly 8 must return a full-line run untouched.
+        run = line(*[(8 + i, 100 + i) for i in range(8)])
+        clipped = clip_to_window(run, 11, 8)
+        assert [t.vpn for t in clipped] == [t.vpn for t in run]
+
+    def test_window_one_keeps_only_demand(self):
+        run = line(*[(8 + i, 100 + i) for i in range(8)])
+        for vpn in (8, 11, 15):
+            clipped = clip_to_window(run, vpn, 1)
+            assert [t.vpn for t in clipped] == [vpn]
+
+    def test_window_wider_than_line_is_identity(self):
+        # Wider-than-line windows model fetching two adjacent lines,
+        # but the run itself still bounds the result.
+        run = line(*[(8 + i, 100 + i) for i in range(8)])
+        assert len(clip_to_window(run, 12, 16)) == 8
+
+
+class TestColtAllThresholdRouting:
+    """Figure 6 step 1: runs of exactly the threshold still go SA."""
+
+    @staticmethod
+    def build_mmu_with_run(run_length):
+        from repro.cache.hierarchy import CacheHierarchy
+        from repro.cache.mmu_cache import MMUCache
+        from repro.core.mmu import MMU, CoLTDesign, make_mmu_config
+        from repro.osmem.page_table import PageTable
+        from repro.walker.page_walker import PageWalker
+
+        table = PageTable()
+        # One contiguous run of the requested length at a line start,
+        # then a PFN discontinuity so the run cannot grow further.
+        for offset in range(run_length):
+            table.map_page(1024 + offset, 5000 + offset)
+        for offset in range(run_length, 8):
+            table.map_page(1024 + offset, 9000 + 10 * offset)
+        walker = PageWalker(table, CacheHierarchy(), MMUCache())
+        return MMU(make_mmu_config(CoLTDesign.COLT_ALL), walker)
+
+    def test_run_exactly_at_threshold_routes_sa(self):
+        mmu = self.build_mmu_with_run(4)
+        assert mmu.config.effective_all_threshold == 4
+        mmu.access(1025)
+        assert mmu.counters["sa_routed_fills"] == 1
+        assert mmu.counters["fa_routed_fills"] == 0
+        # The run landed in the SA hierarchy, not the FA TLB.
+        assert mmu.superpage_tlb.occupancy == 0
+        assert mmu.l2.entry_for(1024) is not None
+
+    def test_run_one_past_threshold_routes_fa(self):
+        mmu = self.build_mmu_with_run(5)
+        mmu.access(1025)
+        assert mmu.counters["fa_routed_fills"] == 1
+        assert mmu.counters["sa_routed_fills"] == 0
+        entry = mmu.superpage_tlb.covering_entry(1025)
+        assert entry is not None and entry.span == 5

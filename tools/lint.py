@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Repo-root entry point for the determinism lint.
+
+Equivalent to the ``colt-lint`` console script, but runnable straight
+from a checkout with no install step:
+
+    python tools/lint.py src
+
+See ``repro.analysis.lint`` for the rule set.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
