@@ -28,7 +28,14 @@ from typing import List, Optional, Sequence
 
 from repro.common.errors import DeterminismError
 from repro.core.mmu import CoLTDesign
-from repro.sim.system import SimulationConfig, SystemSimulator
+from repro.sim.replay import replay_scenario
+from repro.sim.scenario import capture_scenario
+from repro.sim.system import (
+    SimulationConfig,
+    SimulationResult,
+    SystemSimulator,
+    simulate,
+)
 
 #: The designs a full sweep covers.
 ALL_DESIGNS = (
@@ -174,6 +181,69 @@ def check_all_designs(
     return digests
 
 
+def _result_lines(result: SimulationResult) -> List[str]:
+    """Canonical rendering of a :class:`SimulationResult`'s observables."""
+    lines = _counter_lines("mmu", result.mmu_counters)
+    lines += _counter_lines("kernel", result.kernel_counters)
+    lines += [
+        f"l1_misses={result.l1_misses}",
+        f"l2_misses={result.l2_misses}",
+        f"accesses={result.accesses}",
+        f"trace_unique_pages={result.trace_unique_pages}",
+        f"total_cycles={result.performance.total_cycles!r}",
+        f"walk_cycles={result.performance.walk_cycles!r}",
+        f"contiguity={result.contiguity!r}",
+    ]
+    return lines
+
+
+def result_digest(result: SimulationResult) -> str:
+    """Digest of everything observable about one simulation result."""
+    return _hash_lines(_result_lines(result))
+
+
+def check_replay_equivalence(
+    config: SimulationConfig,
+    designs: Sequence[CoLTDesign] = ALL_DESIGNS,
+) -> dict:
+    """Capture once, then demand bit-identical monolithic vs replayed runs.
+
+    The capture/replay split (``repro.sim.scenario`` /
+    ``repro.sim.replay``) is only a valid optimisation if replaying a
+    captured scenario through a design's MMU observes *exactly* the
+    inputs the monolithic simulator would have produced live: same
+    per-access translations, same shootdown ordering, same walk
+    latencies. This check runs both paths for every design and compares
+    full result digests (all MMU/kernel counters, miss counts, cycle
+    totals, contiguity). Returns ``{design.value: digest}``; raises
+    :class:`DeterminismError` on the first divergence.
+    """
+    scenario = capture_scenario(config)
+    digests = {}
+    for design in designs:
+        design_config = config.with_updates(design=design)
+        monolithic = simulate(design_config)
+        replayed = replay_scenario(scenario, design_config)
+        mono_digest = result_digest(monolithic)
+        replay_digest = result_digest(replayed)
+        if mono_digest != replay_digest:
+            diffs = [
+                name
+                for name, value in sorted(
+                    monolithic.mmu_counters.values.items()
+                )
+                if replayed.mmu_counters[name] != value
+            ]
+            raise DeterminismError(
+                f"{config.benchmark}/{design.value}: replay digest "
+                f"{replay_digest[:16]}... != monolithic "
+                f"{mono_digest[:16]}... (diverging counters: "
+                f"{diffs or 'non-counter state'})"
+            )
+        digests[design.value] = mono_digest
+    return digests
+
+
 def _smoke_config(sanitize: Optional[bool]) -> SimulationConfig:
     from repro.osmem.kernel import KernelConfig
 
@@ -200,12 +270,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--sanitize", action="store_true",
         help="run with all runtime sanitizers attached",
     )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="also verify capture+replay is bit-identical to the "
+             "monolithic simulator for every design",
+    )
     args = parser.parse_args(argv)
     config = _smoke_config(True if args.sanitize else None)
     digests = check_all_designs(config, runs=args.runs)
     for design, digest in digests.items():
         print(f"{design:10s} {digest}")
     print(f"determinism: OK ({args.runs} runs x {len(digests)} designs)")
+    if args.replay:
+        replay_digests = check_replay_equivalence(config)
+        for design, digest in replay_digests.items():
+            print(f"replay {design:10s} {digest}")
+        print(
+            f"replay equivalence: OK ({len(replay_digests)} designs "
+            f"bit-identical to monolithic)"
+        )
     return 0
 
 

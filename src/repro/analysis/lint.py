@@ -53,6 +53,7 @@ RULES = ("rng-module-state", "wall-clock", "mutable-default", "float-eq")
 WALL_CLOCK_ALLOW = (
     "tools/lint.py",
     "tools/calibrate.py",
+    "tools/bench_runner.py",
     "repro/experiments/__main__.py",
 )
 

@@ -44,5 +44,9 @@ class SanitizerError(ReproError):
     """A runtime sanitizer detected a violated simulator invariant."""
 
 
+class SimulationError(ReproError):
+    """A full-system run lost internal consistency (e.g. replay desync)."""
+
+
 class DeterminismError(ReproError):
     """Two same-seed simulations diverged (hidden nondeterminism)."""

@@ -100,11 +100,22 @@ def misses_per_million(misses: int, instructions: int) -> float:
     return misses * 1_000_000.0 / instructions
 
 
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
 def percent_eliminated(baseline: int, improved: int) -> float:
     """Percentage of baseline events eliminated by an optimisation.
 
     Negative values mean the optimisation *added* events (e.g. CoLT-SA
     conflict misses with an overly aggressive index shift, Figure 19).
+    A baseline of zero events yields 0.0 -- there was nothing to
+    eliminate -- so callers comparing against an already-perfect
+    baseline (PERFECT designs, tiny traces) never divide by zero.
     """
     if baseline == 0:
         return 0.0

@@ -3,6 +3,12 @@
 Runs one or more experiments (or ``all``) at the scale selected by
 ``REPRO_SCALE`` (quick / default / full) and prints each one's table.
 
+Simulations fan out across ``--jobs`` worker processes (default: all
+CPUs) -- one OS capture per scenario, one TLB replay per design -- and
+results persist in an on-disk store (``.colt-cache/`` or
+``$COLT_RESULT_CACHE``; see ``repro.sim.store``) so repeated
+invocations only pay for configurations they have not seen.
+
 The elapsed-time stamps printed here are display-only terminal feedback
 (monotonic ``perf_counter``); they are never serialized into experiment
 results, which stay a pure function of configuration and seed. This
@@ -11,29 +17,77 @@ file is on the lint's wall-clock allow-list for exactly that scope.
 
 from __future__ import annotations
 
-import sys
+import argparse
+import os
 import time
+from typing import Optional, Sequence
 
 from repro.sim.runner import ExperimentRunner
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.sim.store import ResultStore
+from repro.experiments.registry import EXPERIMENTS, resolve_experiments
 from repro.experiments.scale import scale_from_env
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] in ("-h", "--help"):
-        print("usage: python -m repro.experiments <experiment-id>... | all")
-        print("\nAvailable experiments:")
-        for experiment in EXPERIMENTS.values():
-            print(f"  {experiment.id:10s} {experiment.title}")
-        print("\nScale: set REPRO_SCALE=quick|default|full")
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+        epilog="Scale: set REPRO_SCALE=quick|default|full",
+    )
+    parser.add_argument(
+        "ids", nargs="*", metavar="experiment-id",
+        help="experiment ids to run, or 'all'",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for capture/replay fan-out "
+             "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result store",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store directory (default: $COLT_RESULT_CACHE "
+             "or .colt-cache)",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="clear the result store before running",
+    )
+    return parser
+
+
+def _list_experiments() -> None:
+    print("usage: python -m repro.experiments <experiment-id>... | all")
+    print("\nAvailable experiments:")
+    for experiment in EXPERIMENTS.values():
+        print(f"  {experiment.id:10s} {experiment.title}")
+    print("\nScale: set REPRO_SCALE=quick|default|full")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if not args.ids:
+        _list_experiments()
         return 0
 
-    ids = list(EXPERIMENTS) if argv == ["all"] else argv
+    experiments = resolve_experiments(args.ids)
     scale = scale_from_env()
-    runner = ExperimentRunner()
-    for experiment_id in ids:
-        experiment = get_experiment(experiment_id)
+    store = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            store = ResultStore(args.cache_dir)
+        else:
+            store = ResultStore.from_env()
+    if args.clear_cache and store is not None:
+        removed = store.clear()
+        print(f"cleared {removed} cached results from {store.root}")
+
+    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    runner = ExperimentRunner(jobs=jobs, store=store)
+    for experiment in experiments:
         started = time.perf_counter()
         result = experiment.run(scale, runner)
         elapsed = time.perf_counter() - started

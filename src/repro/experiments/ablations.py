@@ -70,6 +70,15 @@ def _sweep(
 ) -> AblationResult:
     """Run (design, mmu-config) variants and report L2 eliminations."""
     runner = runner or ExperimentRunner()
+    runner.run_batch([
+        cfg
+        for benchmark in scale.benchmarks
+        for base in (simulation_config(benchmark, scale),)
+        for cfg in (base,) + tuple(
+            base.with_updates(design=design, mmu=mmu)
+            for design, mmu in variants.values()
+        )
+    ])
     rows: List[AblationRow] = []
     for benchmark in scale.benchmarks:
         base_cfg = simulation_config(benchmark, scale)

@@ -91,6 +91,12 @@ def run_contiguity_cdfs(
     ths, defrag = CDF_CONFIGS[config_id]
     paper_index = _PAPER_INDEX[config_id]
     runner = runner or ExperimentRunner()
+    runner.run_batch([
+        characterization_config(
+            benchmark, scale, ths_enabled=ths, defrag_enabled=defrag
+        )
+        for benchmark in scale.benchmarks
+    ])
     rows: List[ContiguityCDFRow] = []
     for benchmark in scale.benchmarks:
         result = runner.run(
@@ -169,6 +175,13 @@ def run_memhog_figure(
         raise ValueError(f"figure must be fig16 or fig17, got {figure!r}")
     ths = figure == "fig16"
     runner = runner or ExperimentRunner()
+    runner.run_batch([
+        characterization_config(
+            benchmark, scale, ths_enabled=ths, memhog_fraction=fraction
+        )
+        for benchmark in scale.benchmarks
+        for fraction in (0.0, 0.25, 0.50)
+    ])
     rows: List[MemhogRow] = []
     for benchmark in scale.benchmarks:
         values = []

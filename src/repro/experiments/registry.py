@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExperimentError
 from repro.sim.runner import ExperimentRunner
@@ -137,3 +137,29 @@ def get_experiment(experiment_id: str) -> Experiment:
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)}"
         ) from None
+
+
+def resolve_experiments(ids: Sequence[str]) -> Tuple[Experiment, ...]:
+    """Resolve experiment ids (or the single id ``all``) to entries.
+
+    Unknown ids raise :class:`ExperimentError` before anything runs, so
+    a typo in the last id of a long command fails fast instead of after
+    an hour of simulation.
+    """
+    if list(ids) == ["all"]:
+        return tuple(EXPERIMENTS.values())
+    return tuple(get_experiment(experiment_id) for experiment_id in ids)
+
+
+def run_experiments(
+    ids: Sequence[str],
+    scale,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Tuple[Experiment, object]]:
+    """Run experiments in order, sharing one runner (and its caches)."""
+    experiments = resolve_experiments(ids)
+    runner = runner or ExperimentRunner()
+    return [
+        (experiment, experiment.run(scale, runner))
+        for experiment in experiments
+    ]

@@ -58,6 +58,11 @@ def run_table1(
 ) -> Table1Result:
     """Regenerate Table 1 at the given scale."""
     runner = runner or ExperimentRunner()
+    runner.run_batch([
+        characterization_config(benchmark, scale, ths_enabled=ths)
+        for benchmark in scale.benchmarks
+        for ths in (True, False)
+    ])
     rows: List[Table1Row] = []
     for benchmark in scale.benchmarks:
         on = runner.run(characterization_config(benchmark, scale, ths_enabled=True))

@@ -81,6 +81,13 @@ def run_fig18(
     scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
 ) -> Fig18Result:
     runner = runner or ExperimentRunner()
+    # Prefetch the whole figure in one batch: one capture per benchmark,
+    # replays fanned across the runner's workers.
+    runner.run_batch([
+        simulation_config(benchmark, scale).with_updates(design=design)
+        for benchmark in scale.benchmarks
+        for design in (CoLTDesign.BASELINE,) + COLT_DESIGNS
+    ])
     rows: List[Fig18Row] = []
     for benchmark in scale.benchmarks:
         base_cfg = simulation_config(benchmark, scale)
@@ -138,6 +145,18 @@ def run_fig19(
     shifts: Tuple[int, ...] = (1, 2, 3),
 ) -> Fig19Result:
     runner = runner or ExperimentRunner()
+    runner.run_batch([
+        cfg
+        for benchmark in scale.benchmarks
+        for base in (simulation_config(benchmark, scale),)
+        for cfg in (base,) + tuple(
+            base.with_updates(
+                design=CoLTDesign.COLT_SA,
+                mmu=make_mmu_config(CoLTDesign.COLT_SA, sa_shift=shift),
+            )
+            for shift in shifts
+        )
+    ])
     rows: List[Fig19Row] = []
     for benchmark in scale.benchmarks:
         base_cfg = simulation_config(benchmark, scale)
@@ -205,11 +224,9 @@ def run_fig20(
     scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
 ) -> Fig20Result:
     runner = runner or ExperimentRunner()
-    rows: List[Fig20Row] = []
-    for benchmark in scale.benchmarks:
-        base_cfg = simulation_config(benchmark, scale)
-        baseline = runner.run(base_cfg)  # 4-way, no CoLT
-        variants = {
+
+    def fig20_variants(base_cfg):
+        return {
             "colt_sa_4way": base_cfg.with_updates(
                 design=CoLTDesign.COLT_SA,
                 mmu=make_mmu_config(CoLTDesign.COLT_SA, l2_ways=4),
@@ -223,6 +240,18 @@ def run_fig20(
                 mmu=make_mmu_config(CoLTDesign.COLT_SA, l2_ways=8),
             ),
         }
+
+    runner.run_batch([
+        cfg
+        for benchmark in scale.benchmarks
+        for base in (simulation_config(benchmark, scale),)
+        for cfg in (base,) + tuple(fig20_variants(base).values())
+    ])
+    rows: List[Fig20Row] = []
+    for benchmark in scale.benchmarks:
+        base_cfg = simulation_config(benchmark, scale)
+        baseline = runner.run(base_cfg)  # 4-way, no CoLT
+        variants = fig20_variants(base_cfg)
         eliminated = {
             key: percent_eliminated(
                 baseline.l2_misses, runner.run(cfg).l2_misses
@@ -265,6 +294,15 @@ def run_fig21(
     scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
 ) -> Fig21Result:
     runner = runner or ExperimentRunner()
+    fig21_designs = (
+        CoLTDesign.BASELINE,
+        CoLTDesign.PERFECT,
+    ) + COLT_DESIGNS
+    runner.run_batch([
+        simulation_config(benchmark, scale).with_updates(design=design)
+        for benchmark in scale.benchmarks
+        for design in fig21_designs
+    ])
     rows: List[Fig21Row] = []
     for benchmark in scale.benchmarks:
         base_cfg = simulation_config(benchmark, scale)

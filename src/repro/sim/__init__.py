@@ -1,4 +1,4 @@
-"""Full-system simulation: configs, the simulator, runners, metrics."""
+"""Full-system simulation: configs, capture/replay, runners, metrics."""
 
 from repro.sim.metrics import (
     EliminationRow,
@@ -6,7 +6,15 @@ from repro.sim.metrics import (
     elimination_row,
     performance_row,
 )
+from repro.sim.replay import ReplayWalker, replay_scenario
 from repro.sim.runner import STANDARD_DESIGNS, ExperimentRunner
+from repro.sim.scenario import (
+    CapturedScenario,
+    ScenarioEngine,
+    capture_scenario,
+    scenario_config,
+)
+from repro.sim.store import ResultStore, config_key
 from repro.sim.system import (
     SimulationConfig,
     SimulationResult,
@@ -15,14 +23,22 @@ from repro.sim.system import (
 )
 
 __all__ = [
+    "CapturedScenario",
     "EliminationRow",
     "ExperimentRunner",
     "PerformanceRow",
+    "ReplayWalker",
+    "ResultStore",
     "STANDARD_DESIGNS",
+    "ScenarioEngine",
     "SimulationConfig",
     "SimulationResult",
     "SystemSimulator",
+    "capture_scenario",
+    "config_key",
     "elimination_row",
     "performance_row",
+    "replay_scenario",
+    "scenario_config",
     "simulate",
 ]

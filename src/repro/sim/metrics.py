@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from repro.common.statistics import percent_eliminated
 from repro.core.mmu import CoLTDesign
@@ -62,10 +61,3 @@ def performance_row(
         design=variant.config.design.value,
         improvement_pct=improvement,
     )
-
-
-def mean(values: Iterable[float]) -> float:
-    values = list(values)
-    if not values:
-        raise ValueError("mean of empty sequence")
-    return sum(values) / len(values)

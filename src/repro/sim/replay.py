@@ -1,0 +1,236 @@
+"""Replay phase: stream a captured scenario through any design's MMU.
+
+The counterpart of ``repro.sim.scenario``: given a
+:class:`CapturedScenario`, rebuild a fresh TLB/MMU/cache stack for the
+requested :class:`CoLTDesign` and replay the translation log through it
+-- no kernel, no buddy allocator, no trace generation. The replayed
+``SimulationResult`` is bit-identical to a monolithic
+``SystemSimulator`` run of the same configuration (asserted by
+``repro.analysis.determinism --replay`` and the tier-1 tests), because
+every input the MMU observes is reproduced exactly:
+
+* the walk outcome of each access (translation, walk-path addresses,
+  8-PTE cache-line window) as the page table held it *at that access*;
+* TLB shootdowns, applied before the access index they preceded in the
+  capture (trailing events still land before the counter snapshot);
+* the LLC pollution schedule, which shares :class:`LLCPollution` with
+  the monolithic path.
+
+``ReplayWalker`` mirrors ``repro.walker.page_walker.PageWalker``'s
+latency accounting (MMU-cache skip + per-level PTE fetches through the
+cache hierarchy) from the captured walk path. Its page table is a shim
+that answers ``lookup`` for the access being replayed, which is all the
+observe-only ``TLBSanitizer.after_fill`` cross-check needs -- replays
+run fine with ``COLT_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.statistics import CounterSet
+from repro.common.types import PageAttributes, Translation, WalkResult
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.mmu_cache import MMUCache
+from repro.core.mmu import MMU, make_mmu_config
+from repro.core.performance import evaluate_performance, perfect_tlb_result
+from repro.sim.scenario import (
+    _LINE_ATTR_BASE,
+    _LINE_PFN_BASE,
+    _MASK_COLUMN,
+    _PATH_BASE,
+    CapturedScenario,
+    LLCPollution,
+    scenario_config,
+)
+from repro.sim.system import SimulationConfig, SimulationResult
+
+
+class _ReplayPageTable:
+    """Answers ``lookup`` for the translation most recently replayed.
+
+    The real walker resolves translations from the live page table; in
+    a replay the log *is* the page table. The shim is refreshed by
+    :meth:`ReplayWalker.walk`, which covers the only architectural
+    reader on the replay path (the sanitizer's fill cross-check).
+    """
+
+    def __init__(self) -> None:
+        self._vpn: Optional[int] = None
+        self._translation: Optional[Translation] = None
+
+    def set(self, translation: Translation) -> None:
+        self._vpn = translation.vpn
+        self._translation = translation
+
+    def lookup(self, vpn: int) -> Optional[Translation]:
+        if vpn == self._vpn:
+            return self._translation
+        return None
+
+
+class ReplayWalker:
+    """Drop-in ``PageWalker`` fed from a captured translation log.
+
+    The caller advances :attr:`cursor` to the access index being
+    replayed; a walk decodes that access's record and reproduces the
+    live walker's latency accounting against this replay's own cache
+    hierarchy and MMU cache (whose state evolves with this design's
+    miss pattern, exactly as in the monolithic run).
+    """
+
+    def __init__(
+        self,
+        scenario: CapturedScenario,
+        caches: CacheHierarchy,
+        mmu_cache: Optional[MMUCache] = None,
+    ) -> None:
+        self._scenario = scenario
+        self._caches = caches
+        self._mmu_cache = mmu_cache
+        self._page_table = _ReplayPageTable()
+        self.cursor = 0
+        self.counters = CounterSet(
+            ["walks", "levels_fetched", "total_latency", "superpage_walks"]
+        )
+
+    @property
+    def page_table(self) -> _ReplayPageTable:
+        return self._page_table
+
+    @property
+    def mmu_cache(self) -> Optional[MMUCache]:
+        return self._mmu_cache
+
+    def walk(self, vpn: int) -> WalkResult:
+        scenario = self._scenario
+        index = self.cursor
+        expected = int(scenario.vpns[index])
+        if vpn != expected:
+            raise SimulationError(
+                f"replay desync at access {index}: walk of vpn {vpn}, "
+                f"captured vpn {expected}"
+            )
+        row = scenario.records[int(scenario.record_index[index])]
+        translation = Translation(
+            vpn=vpn,
+            pfn=int(row[0]),
+            attributes=PageAttributes(int(row[1])),
+            is_superpage=bool(row[2]),
+        )
+        self._page_table.set(translation)
+        self.counters.increment("walks")
+
+        levels = int(row[3])
+        start_level = 0
+        latency = 0
+        if self._mmu_cache is not None:
+            latency += self._mmu_cache.config.latency
+            deepest = self._mmu_cache.deepest_cached_level(vpn)
+            if deepest is not None:
+                start_level = min(deepest + 1, levels - 1)
+        fetched = 0
+        for level in range(start_level, levels):
+            latency += self._caches.access_pte(int(row[_PATH_BASE + level]))
+            fetched += 1
+        if self._mmu_cache is not None:
+            self._mmu_cache.fill_walk(vpn, levels_visited=levels)
+
+        if translation.is_superpage:
+            self.counters.increment("superpage_walks")
+            line = ()
+        else:
+            mask = int(row[_MASK_COLUMN])
+            base = vpn & ~0x7
+            line = tuple(
+                Translation(
+                    vpn=base + offset,
+                    pfn=int(row[_LINE_PFN_BASE + offset]),
+                    attributes=PageAttributes(
+                        int(row[_LINE_ATTR_BASE + offset])
+                    ),
+                )
+                for offset in range(8)
+                if mask >> offset & 1
+            )
+        self.counters.increment("levels_fetched", fetched)
+        self.counters.increment("total_latency", latency)
+        return WalkResult(
+            translation=translation,
+            cache_line_translations=line,
+            latency=latency,
+            memory_accesses=fetched,
+        )
+
+
+def replay_scenario(
+    scenario: CapturedScenario, config: SimulationConfig
+) -> SimulationResult:
+    """Replay a captured scenario under ``config``'s TLB design.
+
+    ``config`` must describe the same scenario the capture ran (same
+    benchmark, kernel config, seed, ...); only its ``design`` / ``mmu``
+    / ``sanitize`` fields are free to differ.
+    """
+    if scenario_config(config) != scenario.config:
+        raise SimulationError(
+            f"config {config} does not match captured scenario "
+            f"{scenario.config}"
+        )
+    mmu_config = config.mmu or make_mmu_config(config.design)
+    caches = CacheHierarchy(HierarchyConfig())
+    walker = ReplayWalker(scenario, caches, MMUCache())
+    mmu = MMU(mmu_config, walker, sanitize=config.sanitize)
+    pollution = LLCPollution(caches.llc, config.llc_pollution_per_access)
+
+    vpns = scenario.vpns
+    before = scenario.inval_before
+    starts = scenario.inval_start
+    counts = scenario.inval_count
+    pending = 0
+    total_events = int(before.size)
+    access = mmu.access
+    invalidate_range = mmu.invalidate_range
+
+    for index in range(vpns.size):
+        while pending < total_events and int(before[pending]) <= index:
+            invalidate_range(int(starts[pending]), int(counts[pending]))
+            pending += 1
+        walker.cursor = index
+        access(int(vpns[index]))
+        pollution.after_access()
+    # Shootdowns that trailed the final access still reach the MMU
+    # before its counters are snapshotted.
+    while pending < total_events:
+        invalidate_range(int(starts[pending]), int(counts[pending]))
+        pending += 1
+
+    if mmu.sanitizer is not None:
+        mmu.sanitizer.full_scan()
+
+    distinct_lines = int(np.unique(vpns >> 3).size)
+    discount = float(distinct_lines * caches.config.dram_latency)
+    performance = evaluate_performance(
+        mmu,
+        int(vpns.size),
+        scenario.profile.core,
+        compulsory_discount_cycles=discount,
+    )
+    return SimulationResult(
+        config=config,
+        profile=scenario.profile,
+        accesses=int(vpns.size),
+        l1_misses=mmu.l1_misses,
+        l2_misses=mmu.l2_misses,
+        mmu_counters=mmu.counters.snapshot(),
+        kernel_counters=scenario.kernel_counters,
+        performance=performance,
+        perfect_performance=perfect_tlb_result(
+            int(vpns.size), scenario.profile.core
+        ),
+        contiguity=scenario.contiguity,
+        trace_unique_pages=scenario.trace_unique_pages,
+    )

@@ -1,17 +1,42 @@
-"""Experiment runner: sweep designs/configs for one or many benchmarks.
+"""Experiment runner: capture once per scenario, replay per design.
 
 The runner executes the same (seeded, therefore identical) OS-and-trace
 scenario under several TLB designs and assembles the comparison rows the
-paper's figures plot. Results are memoised per process so that, e.g.,
-Figure 21 reuses the runs Figure 18 already performed.
+paper's figures plot. It is a two-phase executor over the capture/replay
+split of ``repro.sim.scenario`` / ``repro.sim.replay``:
+
+1. **Capture** -- group the requested configs by their TLB-independent
+   scenario (:func:`repro.sim.scenario.scenario_config`) and run the
+   OS+workload interleaving exactly once per group.
+2. **Replay** -- stream each captured log through every requested
+   design's MMU; pure TLB work, no kernel or trace generation.
+
+Both phases fan out across a ``ProcessPoolExecutor`` when ``jobs > 1``.
+Results are memoised in-process per config (so e.g. Figure 21 reuses
+the runs Figure 18 already performed) and, when a
+:class:`repro.sim.store.ResultStore` is attached, on disk across
+invocations.
+
+``monolithic=True`` restores the legacy single-phase path (every config
+re-runs the full OS) -- used by ``tools/bench_runner.py`` as the
+baseline of the speedup smoke test, and available for A/B debugging.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mmu import CoLTDesign, MMUConfig
-from repro.sim.metrics import EliminationRow, PerformanceRow, elimination_row, performance_row
+from repro.sim.metrics import (
+    EliminationRow,
+    PerformanceRow,
+    elimination_row,
+    performance_row,
+)
+from repro.sim.replay import replay_scenario
+from repro.sim.scenario import CapturedScenario, capture_scenario, scenario_config
+from repro.sim.store import ResultStore
 from repro.sim.system import SimulationConfig, SimulationResult, simulate
 
 #: The design set of Figures 18 and 21.
@@ -23,16 +48,138 @@ STANDARD_DESIGNS: Tuple[CoLTDesign, ...] = (
 )
 
 
-class ExperimentRunner:
-    """Runs and caches simulations keyed by their full configuration."""
+def _capture_task(config: SimulationConfig) -> CapturedScenario:
+    """Worker entry point: one scenario capture (module-level, picklable)."""
+    return capture_scenario(config)
 
-    def __init__(self) -> None:
+
+def _replay_task(
+    scenario: CapturedScenario, configs: Sequence[SimulationConfig]
+) -> List[SimulationResult]:
+    """Worker entry point: replay one scenario under several configs."""
+    return [replay_scenario(scenario, config) for config in configs]
+
+
+def _chunk(items: Sequence, pieces: int) -> List[List]:
+    """Split ``items`` into up to ``pieces`` contiguous, non-empty runs."""
+    pieces = max(1, min(pieces, len(items)))
+    size, remainder = divmod(len(items), pieces)
+    chunks, start = [], 0
+    for index in range(pieces):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
+class ExperimentRunner:
+    """Runs and caches simulations keyed by their full configuration.
+
+    Args:
+        jobs: worker processes for the capture and replay fan-out;
+            ``None`` or 1 runs inline (no pool).
+        store: optional on-disk result store consulted before, and
+            updated after, every simulation.
+        monolithic: bypass capture/replay and run every config through
+            the legacy single-phase :func:`simulate`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        monolithic: bool = False,
+    ) -> None:
+        self._jobs = max(1, int(jobs)) if jobs else 1
+        self._store = store
+        self._monolithic = monolithic
         self._cache: Dict[SimulationConfig, SimulationResult] = {}
+        self._scenarios: Dict[SimulationConfig, CapturedScenario] = {}
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
 
     def run(self, config: SimulationConfig) -> SimulationResult:
-        if config not in self._cache:
-            self._cache[config] = simulate(config)
-        return self._cache[config]
+        return self.run_batch([config])[config]
+
+    def run_batch(
+        self, configs: Sequence[SimulationConfig]
+    ) -> Dict[SimulationConfig, SimulationResult]:
+        """Simulate every config, deduplicated, cached, and parallel.
+
+        This is the runner's prefetch surface: experiment harnesses
+        assemble every config a figure needs and submit them in one
+        call, so captures and replays from different benchmarks fan out
+        across the worker pool together.
+        """
+        pending: List[SimulationConfig] = []
+        seen = set()
+        for config in configs:
+            if config in self._cache or config in seen:
+                continue
+            stored = self._store.load(config) if self._store else None
+            if stored is not None:
+                self._cache[config] = stored
+                continue
+            seen.add(config)
+            pending.append(config)
+
+        if pending:
+            if self._monolithic:
+                for config in pending:
+                    self._finish(config, simulate(config))
+            else:
+                self._run_captured(pending)
+        return {config: self._cache[config] for config in configs}
+
+    def _finish(
+        self, config: SimulationConfig, result: SimulationResult
+    ) -> None:
+        self._cache[config] = result
+        if self._store is not None:
+            self._store.save(config, result)
+
+    def _run_captured(self, pending: Sequence[SimulationConfig]) -> None:
+        groups: Dict[SimulationConfig, List[SimulationConfig]] = {}
+        for config in pending:
+            groups.setdefault(scenario_config(config), []).append(config)
+
+        to_capture = [key for key in groups if key not in self._scenarios]
+        replay_chunks: List[Tuple[SimulationConfig, List[SimulationConfig]]]
+        replay_chunks = []
+        per_group = max(1, self._jobs // max(1, len(groups)))
+        for key, group in groups.items():
+            for chunk in _chunk(group, per_group):
+                replay_chunks.append((key, chunk))
+
+        if self._jobs > 1 and len(to_capture) + len(replay_chunks) > 1:
+            with ProcessPoolExecutor(max_workers=self._jobs) as pool:
+                if to_capture:
+                    for key, scenario in zip(
+                        to_capture, pool.map(_capture_task, to_capture)
+                    ):
+                        self._scenarios[key] = scenario
+                futures = [
+                    (chunk, pool.submit(
+                        _replay_task, self._scenarios[key], chunk
+                    ))
+                    for key, chunk in replay_chunks
+                ]
+                for chunk, future in futures:
+                    for config, result in zip(chunk, future.result()):
+                        self._finish(config, result)
+        else:
+            for key in to_capture:
+                self._scenarios[key] = capture_scenario(key)
+            for key, chunk in replay_chunks:
+                scenario = self._scenarios[key]
+                for config in chunk:
+                    self._finish(config, replay_scenario(scenario, config))
+
+    # ------------------------------------------------------------------
+    # Figure-level helpers.
+    # ------------------------------------------------------------------
 
     def run_designs(
         self,
@@ -40,15 +187,16 @@ class ExperimentRunner:
         designs: Sequence[CoLTDesign] = STANDARD_DESIGNS,
         mmu_overrides: Optional[Dict[CoLTDesign, MMUConfig]] = None,
     ) -> Dict[CoLTDesign, SimulationResult]:
-        """Run the same scenario under each design."""
-        results = {}
-        for design in designs:
-            config = base.with_updates(
+        """Run the same scenario under each design (one capture total)."""
+        configs = {
+            design: base.with_updates(
                 design=design,
                 mmu=(mmu_overrides or {}).get(design),
             )
-            results[design] = self.run(config)
-        return results
+            for design in designs
+        }
+        results = self.run_batch(list(configs.values()))
+        return {design: results[cfg] for design, cfg in configs.items()}
 
     def eliminations(
         self,
@@ -86,4 +234,10 @@ class ExperimentRunner:
         ]
 
     def clear(self) -> None:
+        """Drop the in-process memo and captured scenarios.
+
+        The on-disk store (if any) is left intact; clear it explicitly
+        with :meth:`repro.sim.store.ResultStore.clear`.
+        """
         self._cache.clear()
+        self._scenarios.clear()

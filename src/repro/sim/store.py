@@ -1,0 +1,155 @@
+"""On-disk content-addressed result store for simulation results.
+
+``ExperimentRunner`` backs its in-process memo with this store so that
+``python -m repro.experiments fig18 fig21`` reuses results across
+invocations exactly as the in-memory cache does within one. Entries are
+keyed by a stable SHA-256 of:
+
+* the canonical serialisation of the full :class:`SimulationConfig`
+  (nested dataclasses flattened field by field, enums by value), and
+* a fingerprint of the code-relevant architectural constants
+  (``repro.common.constants``) plus a store schema version.
+
+The constants fingerprint means a change to, say, the LLC size or the
+coalescing window defaults silently invalidates every cached result --
+stale numbers can never leak into a figure. It does *not* cover
+arbitrary code changes; bump :data:`STORE_VERSION` when simulator
+behaviour changes without a constant moving (the capture-record layout
+counts as such a change).
+
+Writes are atomic (temp file + ``os.replace`` in the same directory),
+so concurrent runner processes may share one store: both compute the
+same bits and whichever finishes last wins with an identical payload.
+
+The store location defaults to ``.colt-cache/`` in the working
+directory; override with the ``COLT_RESULT_CACHE`` environment
+variable, disable with ``--no-cache`` (CLI) or ``store=None``
+(library). Clear it with :meth:`ResultStore.clear` or simply
+``rm -rf .colt-cache``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.common import constants
+from repro.sim.system import SimulationConfig, SimulationResult
+
+#: Environment variable naming the store directory.
+STORE_ENV = "COLT_RESULT_CACHE"
+
+#: Default store directory (relative to the working directory).
+DEFAULT_STORE_DIR = ".colt-cache"
+
+#: Bump on any behavioural change not captured by config or constants
+#: (e.g. capture-record layout, walk-latency accounting).
+STORE_VERSION = 1
+
+
+def _encode(value):
+    """Canonical JSON-compatible encoding of a config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded = {"__dataclass__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            encoded[field.name] = _encode(getattr(value, field.name))
+        return encoded
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for hashing")
+
+
+def _constants_fingerprint() -> dict:
+    """The architectural constants a result depends on, by name."""
+    return {
+        name: value
+        for name, value in sorted(vars(constants).items())
+        if name.isupper() and isinstance(value, (bool, int, float, str))
+    }
+
+
+def config_key(config: SimulationConfig) -> str:
+    """Stable content hash of a config + code-relevant constants."""
+    payload = {
+        "version": STORE_VERSION,
+        "config": _encode(config),
+        "constants": _constants_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Directory of pickled :class:`SimulationResult`s, content-addressed."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def from_env(cls, default: Optional[str] = DEFAULT_STORE_DIR
+                 ) -> Optional["ResultStore"]:
+        """Store at ``$COLT_RESULT_CACHE``, else ``default``.
+
+        ``COLT_RESULT_CACHE=`` (empty) or ``0`` disables the store, as
+        does ``default=None`` when the variable is unset.
+        """
+        location = os.environ.get(STORE_ENV)
+        if location is not None:
+            if location.strip() in ("", "0", "off", "none"):
+                return None
+            return cls(location)
+        if default is None:
+            return None
+        return cls(default)
+
+    def _path(self, config: SimulationConfig) -> Path:
+        return self.root / f"{config_key(config)}.pkl"
+
+    def load(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """Return the stored result for ``config``, or None."""
+        path = self._path(config)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            # A torn or stale entry: drop it and recompute.
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(result, SimulationResult) or result.config != config:
+            path.unlink(missing_ok=True)
+            return None
+        return result
+
+    def save(self, config: SimulationConfig, result: SimulationResult) -> None:
+        """Persist ``result`` atomically (safe under concurrent writers)."""
+        path = self._path(config)
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with temp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

@@ -18,17 +18,25 @@ the TLB design, running the same configuration with different designs
 yields identical page tables and traces -- the comparisons of Figures
 18-21 are therefore apples-to-apples, exactly like the paper's replayed
 traces.
+
+The OS side lives in :class:`repro.sim.scenario.ScenarioEngine`, which
+this monolithic simulator shares with the capture+replay pipeline
+(``repro.sim.scenario`` / ``repro.sim.replay``); ``SystemSimulator``
+attaches a live MMU to the engine's access stream, the capture path
+attaches a recorder. :func:`simulate` remains the one-call monolithic
+entry point; batch work should go through
+:class:`repro.sim.runner.ExperimentRunner`, which captures each
+scenario once and replays it per design, in parallel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError, OutOfMemoryError
-from repro.common.rng import SeedSequencer
+from repro.common.errors import ConfigurationError
 from repro.common.statistics import CounterSnapshot
 from repro.contiguity.scanner import ContiguityReport
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
@@ -40,11 +48,12 @@ from repro.core.performance import (
     perfect_tlb_result,
 )
 from repro.osmem.kernel import Kernel, KernelConfig
-from repro.osmem.memhog import AgingProfile, Memhog, age_system
+from repro.osmem.memhog import AgingProfile
 from repro.osmem.process import Process
+from repro.sim.scenario import LLCPollution, ScenarioEngine
 from repro.walker.page_walker import PageWalker
-from repro.workloads.benchmarks import BenchmarkProfile, get_benchmark
-from repro.workloads.trace import Trace, generate_trace, scaled_region_pages
+from repro.workloads.benchmarks import BenchmarkProfile
+from repro.workloads.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -63,7 +72,9 @@ class SimulationConfig:
         mmu: explicit MMU configuration; None derives the paper-standard
             one for ``design`` via :func:`make_mmu_config`.
         aging: aging profile; None skips aging (pristine machine).
-        tick_every: accesses between kernel background ticks.
+        tick_every: accesses between kernel background ticks (0
+            disables; the first tick fires after ``tick_every``
+            accesses, not before the first reference).
         churn_every: accesses between background-process allocations
             during the run (0 disables). Live-system churn competes with
             the benchmark for buddy blocks, which is what keeps demand
@@ -149,63 +160,35 @@ class SimulationResult:
 
 
 class SystemSimulator:
-    """Boots, loads, and runs one configuration end to end."""
+    """Boots, loads, and runs one configuration end to end (monolithic).
+
+    The OS substrate is a :class:`ScenarioEngine`; this class adds the
+    live MMU and the LLC-pollution model to the engine's access stream.
+    ``kernel`` / ``process`` / ``trace`` are views onto the engine.
+    """
 
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
-        self.profile = get_benchmark(config.benchmark)
-        self._seeds = SeedSequencer(config.seed)
-        self.kernel: Optional[Kernel] = None
-        self.process: Optional[Process] = None
+        self._engine = ScenarioEngine(config)
+        self.profile = self._engine.profile
         self.mmu: Optional[MMU] = None
-        self.trace: Optional[Trace] = None
-        self._daemons: List[Process] = []
+        self._caches: Optional[CacheHierarchy] = None
 
-    # ------------------------------------------------------------------
-    # Phase 1-2: boot + load.
-    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Optional[Kernel]:
+        return self._engine.kernel
+
+    @property
+    def process(self) -> Optional[Process]:
+        return self._engine.process
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self._engine.trace
 
     def prepare(self) -> None:
         """Boot the kernel, age it, start memhog, lay out the benchmark."""
-        config = self.config
-        self.kernel = Kernel(config.kernel, sanitize=config.sanitize)
-        if config.aging is not None:
-            self._daemons = age_system(self.kernel, self._seeds, config.aging)
-        else:
-            daemon = self.kernel.create_process("background0", fault_batch=4)
-            self.kernel.register_reclaim_victim(daemon)
-            self._daemons = [daemon]
-        if config.memhog_fraction > 0:
-            Memhog(self.kernel, config.memhog_fraction, self._seeds).start()
-
-        self.process = self.kernel.create_process(self.profile.name)
-        pages = scaled_region_pages(self.profile, config.scale)
-        bases: Dict[str, int] = {}
-        for region in self.profile.regions:
-            vma = self.kernel.malloc(
-                self.process,
-                pages[region.name],
-                name=region.name,
-                populate=region.populate,
-                kind=region.kind,
-                thp_eligible=region.thp_eligible,
-                populate_batch=region.fault_batch,
-            )
-            bases[region.name] = vma.start_vpn
-        self.trace = generate_trace(
-            self.profile,
-            bases,
-            config.accesses,
-            self._seeds.rng("trace"),
-            scale=config.scale,
-        )
-        self._region_fault_batch = {
-            bases[r.name]: r.fault_batch for r in self.profile.regions
-        }
-        self._region_bounds = sorted(
-            (bases[r.name], bases[r.name] + pages[r.name], r.fault_batch)
-            for r in self.profile.regions
-        )
+        self._engine.prepare()
         self.mmu = self._build_mmu()
 
     def _build_mmu(self) -> MMU:
@@ -225,48 +208,22 @@ class SystemSimulator:
         self._caches = caches
         return mmu
 
-    def _fault_batch_for(self, vpn: int) -> int:
-        for start, end, batch in self._region_bounds:
-            if start <= vpn < end:
-                return batch
-        return self.process.fault_batch
-
-    # ------------------------------------------------------------------
-    # Phase 3: the run.
-    # ------------------------------------------------------------------
-
     def run(self) -> SimulationResult:
         """Execute the access stream; returns the collected results."""
         if self.kernel is None:
             self.prepare()
-        config = self.config
-        kernel = self.kernel
-        process = self.process
         mmu = self.mmu
-        trace = self.trace
-
-        churn_rng = self._seeds.rng("run.churn")
-        live_churn: List = []
-        pollution_budget = 0.0
-        is_populated = process.is_populated
         access = mmu.access
-        pollute = self._pollute_llc
+        pollution = LLCPollution(
+            self._caches.llc, self.config.llc_pollution_per_access
+        )
+        after_access = pollution.after_access
 
-        for index, vpn in enumerate(trace.vpns):
-            vpn = int(vpn)
-            if not is_populated(vpn):
-                # Demand fault, at this region's allocator granularity.
-                process.fault_batch = self._fault_batch_for(vpn)
-                kernel.touch(process, vpn)
+        def on_access(index: int, vpn: int) -> None:
             access(vpn)
-            pollution_budget += config.llc_pollution_per_access
-            if pollution_budget >= 1.0:
-                pollute(int(pollution_budget))
-                pollution_budget -= int(pollution_budget)
-            if config.churn_every and index % config.churn_every == 0:
-                self._background_churn(churn_rng, live_churn)
-            if index % config.tick_every == 0:
-                kernel.tick()
+            after_access()
+
+        self._engine.run_loop(on_access)
 
         # A parting full sweep: if anything drifted during the run, fail
         # here rather than hand back silently-corrupt statistics.
@@ -275,6 +232,7 @@ class SystemSimulator:
         # Discount the DRAM cost of compulsory PTE-line fetches: every
         # design pays them once per distinct line, and at the paper's
         # trace lengths they are negligible (see repro.core.performance).
+        trace = self.trace
         distinct_lines = int(np.unique(trace.vpns >> 3).size)
         discount = float(
             distinct_lines * self._caches.config.dram_latency
@@ -286,35 +244,20 @@ class SystemSimulator:
             compulsory_discount_cycles=discount,
         )
         return SimulationResult(
-            config=config,
+            config=self.config,
             profile=self.profile,
             accesses=len(trace.vpns),
             l1_misses=mmu.l1_misses,
             l2_misses=mmu.l2_misses,
             mmu_counters=mmu.counters.snapshot(),
-            kernel_counters=kernel.counters.snapshot(),
+            kernel_counters=self.kernel.counters.snapshot(),
             performance=performance,
             perfect_performance=perfect_tlb_result(
                 len(trace.vpns), self.profile.core
             ),
-            contiguity=ContiguityReport.from_process(process),
+            contiguity=ContiguityReport.from_process(self.process),
             trace_unique_pages=trace.unique_pages,
         )
-
-    def _background_churn(self, rng: np.random.Generator, live: List) -> None:
-        """One beat of live-system allocation activity during the run."""
-        daemon = self._daemons[int(rng.integers(len(self._daemons)))]
-        pages = max(1, int(self.config.churn_pages * (0.5 + rng.random())))
-        try:
-            daemon_vma = self.kernel.malloc(
-                daemon, pages, name="live_churn", populate=True
-            )
-        except OutOfMemoryError:
-            return
-        live.append((daemon, daemon_vma))
-        while len(live) > self.config.churn_live_limit:
-            victim_daemon, victim_vma = live.pop(0)
-            self.kernel.free_vma(victim_daemon, victim_vma)
 
     def sanity_check(self) -> None:
         """Force a full scan of every attached sanitizer (no-op if off).
@@ -324,26 +267,11 @@ class SystemSimulator:
         """
         if self.mmu is not None and self.mmu.sanitizer is not None:
             self.mmu.sanitizer.full_scan()
-        if self.kernel is not None:
-            buddy_sanitizer = self.kernel.buddy.sanitizer
-            if buddy_sanitizer is not None:
-                buddy_sanitizer.full_scan()
-                buddy_sanitizer.check_accounting()
-            if self.kernel.sanitizer is not None:
-                self.kernel.sanitizer.full_scan()
-
-    def _pollute_llc(self, lines: int) -> None:
-        """Model the data stream's LLC pressure on PTE lines."""
-        llc = self._caches.llc
-        for _ in range(lines):
-            self._pollution_cursor = (
-                getattr(self, "_pollution_cursor", 0) + 101
-            ) % llc.num_sets
-            llc.evict_lru_of_set(self._pollution_cursor)
+        self._engine.sanity_check()
 
 
 def simulate(config: SimulationConfig) -> SimulationResult:
-    """One-call convenience wrapper: prepare + run."""
+    """One-call convenience wrapper: prepare + run (monolithic path)."""
     simulator = SystemSimulator(config)
     simulator.prepare()
     return simulator.run()

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.common import errors
+from repro.common.statistics import mean, percent_eliminated
 from repro.core.mmu import CoLTDesign
 from repro.core.performance import PerformanceResult
-from repro.sim.metrics import mean
 
 
 class TestExceptionHierarchy:
@@ -37,6 +37,21 @@ class TestMean:
     def test_empty_mean_rejected(self):
         with pytest.raises(ValueError):
             mean([])
+
+
+class TestPercentEliminated:
+    def test_positive_elimination(self):
+        assert percent_eliminated(200, 50) == pytest.approx(75.0)
+
+    def test_negative_means_added_misses(self):
+        assert percent_eliminated(100, 150) == pytest.approx(-50.0)
+
+    def test_zero_baseline_is_safe(self):
+        """A perfect baseline has nothing to eliminate -- callers
+        (elimination rows, figure averages) must get 0.0, not a
+        ZeroDivisionError."""
+        assert percent_eliminated(0, 0) == 0.0
+        assert percent_eliminated(0, 7) == 0.0
 
 
 class TestPerformanceRowSemantics:

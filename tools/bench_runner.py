@@ -1,0 +1,138 @@
+"""Runner-speedup smoke benchmark: monolithic vs capture+replay.
+
+Times the fig18 + fig21 pipeline at QUICK scale twice:
+
+1. **serial monolithic** -- ``ExperimentRunner(monolithic=True)``, the
+   legacy path: every (benchmark, design) pair re-runs the full
+   OS+workload interleaving inline.
+2. **parallel capture+replay** -- ``ExperimentRunner(jobs=N)``: one OS
+   capture per benchmark, one TLB replay per design, fanned across a
+   process pool.
+
+Writes a ``BENCH_runner.json`` artifact with wall-clock per figure,
+aggregate simulated accesses/second for both modes, and the speedup;
+exits non-zero if the speedup falls below ``--min-speedup`` (CI runs
+with ``--min-speedup 2.0 --jobs 4``; on a single-core box pass
+``--min-speedup 0`` to just record numbers).
+
+Benchmarking needs ``time.perf_counter``, so this file sits on the
+determinism lint's ``WALL_CLOCK_ALLOW`` list; the timings go to the
+artifact and the terminal only -- nothing here feeds back into
+simulation results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.sim.runner import ExperimentRunner  # noqa: E402
+from repro.sim.scenario import scenario_config  # noqa: E402
+from repro.experiments.registry import get_experiment  # noqa: E402
+from repro.experiments.scale import QUICK  # noqa: E402
+
+FIGURES = ("fig18", "fig21")
+
+
+def _time_pipeline(runner: ExperimentRunner) -> dict:
+    """Run the figure pipeline under ``runner``; return per-figure timings."""
+    timings = {}
+    for figure_id in FIGURES:
+        experiment = get_experiment(figure_id)
+        started = time.perf_counter()
+        experiment.run(QUICK, runner)
+        timings[figure_id] = time.perf_counter() - started
+    return timings
+
+
+def _simulated_accesses(runner: ExperimentRunner) -> int:
+    """Total trace accesses the runner's cached results account for."""
+    return sum(config.accesses for config in runner._cache)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time serial-monolithic vs parallel capture+replay "
+                    "on the fig18+fig21 QUICK pipeline."
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1, metavar="N",
+        help="worker processes for the capture/replay mode "
+             "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0, metavar="X",
+        help="fail (exit 1) if parallel speedup is below X "
+             "(default: 0, record-only)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_runner.json", metavar="FILE",
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"benchmarking fig18+fig21 at QUICK scale (jobs={args.jobs})")
+
+    monolithic_runner = ExperimentRunner(monolithic=True)
+    mono_started = time.perf_counter()
+    mono_timings = _time_pipeline(monolithic_runner)
+    mono_total = time.perf_counter() - mono_started
+    accesses = _simulated_accesses(monolithic_runner)
+
+    parallel_runner = ExperimentRunner(jobs=args.jobs)
+    par_started = time.perf_counter()
+    par_timings = _time_pipeline(parallel_runner)
+    par_total = time.perf_counter() - par_started
+
+    scenarios = len(
+        {scenario_config(config) for config in parallel_runner._cache}
+    )
+    speedup = mono_total / par_total if par_total > 0 else float("inf")
+    report = {
+        "scale": "quick",
+        "jobs": args.jobs,
+        "figures": list(FIGURES),
+        "simulation_runs": len(monolithic_runner._cache),
+        "scenarios_captured": scenarios,
+        "simulated_accesses": accesses,
+        "serial_monolithic": {
+            "wall_clock_s": {k: round(v, 3) for k, v in mono_timings.items()},
+            "total_s": round(mono_total, 3),
+            "accesses_per_sec": round(accesses / mono_total, 1),
+        },
+        "parallel_replay": {
+            "wall_clock_s": {k: round(v, 3) for k, v in par_timings.items()},
+            "total_s": round(par_total, 3),
+            "accesses_per_sec": round(accesses / par_total, 1),
+        },
+        "speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"serial monolithic : {mono_total:8.2f}s "
+          f"({report['serial_monolithic']['accesses_per_sec']:.0f} acc/s)")
+    print(f"parallel replay   : {par_total:8.2f}s "
+          f"({report['parallel_replay']['accesses_per_sec']:.0f} acc/s)")
+    print(f"speedup           : {speedup:8.2f}x  (threshold "
+          f"{args.min_speedup}x)")
+    print(f"wrote {args.output}")
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x < required "
+              f"{args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
