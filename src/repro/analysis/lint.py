@@ -28,6 +28,13 @@ and reports violations of four repo-specific rules:
     Comparing floats with ``==``/``!=`` makes behaviour depend on
     rounding; rates and averages must be compared with tolerances.
 
+``no-print``
+    Library code under ``src/repro`` must not call ``print()``:
+    diagnostics belong on the ``repro.obs.logging`` logger, where
+    ``--quiet``/``--verbose`` control them. CLI entry points
+    (``__main__.py`` modules) and the allow-listed CLI-style tools
+    (see ``PRINT_ALLOW``) are exempt.
+
 Any diagnostic can be suppressed for one line with a trailing
 ``# colt-lint: disable=<rule>[,<rule>...]`` (or ``disable=all``) pragma.
 
@@ -46,15 +53,28 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 #: Rule identifiers, in reporting order.
-RULES = ("rng-module-state", "wall-clock", "mutable-default", "float-eq")
+RULES = (
+    "rng-module-state", "wall-clock", "mutable-default", "float-eq",
+    "no-print",
+)
 
 #: Files (matched by path suffix) where wall-clock reads are legal:
-#: CLI layers that print elapsed time but never serialize it.
+#: CLI layers that print elapsed time but never serialize it, plus the
+#: tracer (its timestamps describe the run; they never feed results).
 WALL_CLOCK_ALLOW = (
     "tools/lint.py",
     "tools/calibrate.py",
     "tools/bench_runner.py",
+    "tools/obs_report.py",
     "repro/experiments/__main__.py",
+    "repro/obs/trace.py",
+)
+
+#: Library files under ``repro/`` that are CLI front-ends in disguise
+#: (runnable via ``python -m``/console scripts) and may print directly.
+PRINT_ALLOW = (
+    "repro/analysis/lint.py",
+    "repro/analysis/determinism.py",
 )
 
 #: The one module allowed to construct numpy Generators directly.
@@ -117,6 +137,12 @@ class _Visitor(ast.NodeVisitor):
         self._allow_wall_clock = _path_matches(path, WALL_CLOCK_ALLOW)
         self._allow_rng_construction = _path_matches(
             path, RNG_CONSTRUCTION_ALLOW
+        )
+        normalized = path.replace("\\", "/")
+        self._check_print = (
+            "repro/" in normalized
+            and not normalized.endswith("__main__.py")
+            and not _path_matches(path, PRINT_ALLOW)
         )
         # module-alias tracking: which local names refer to numpy /
         # time / datetime, so aliased imports cannot dodge the rules.
@@ -215,6 +241,17 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if (
+            self._check_print
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._report(
+                node,
+                "no-print",
+                "print() in library code bypasses --quiet/--verbose; "
+                "log via repro.obs.logging.get_logger(__name__)",
+            )
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             owner, attr = func.value.id, func.attr
             if (

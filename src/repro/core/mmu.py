@@ -37,6 +37,8 @@ from repro.common.constants import (
 from repro.common.errors import ConfigurationError
 from repro.common.statistics import CounterSet
 from repro.common.types import LookupResult, Translation
+from repro.obs.hooks import MMUObserver
+from repro.obs.registry import bind_counterset, get_registry
 from repro.core.coalescing import (
     clip_to_group,
     clip_to_window,
@@ -226,6 +228,18 @@ class MMU:
                 "invalidations",
             ]
         )
+        #: Optional :class:`repro.obs.hooks.MMUObserver`; ``None`` unless
+        #: observability is active (``COLT_TRACE`` / ``COLT_PROFILE``),
+        #: so the disabled-mode cost is one ``is not None`` per
+        #: miss/fill/shootdown -- the hit path never checks it.
+        self._obs: Optional[MMUObserver] = MMUObserver.create(
+            config.design.value
+        )
+        if self._obs is not None:
+            bind_counterset(
+                get_registry(), "colt_mmu", self.counters,
+                design=config.design.value,
+            )
 
     # ------------------------------------------------------------------
     # The per-access flow.
@@ -251,6 +265,8 @@ class MMU:
             self.counters.increment("l1_fa_hits")
             return "superpage", self.config.l1_latency
         self.counters.increment("l1_misses")
+        if self._obs is not None:
+            self._obs.on_l1_miss(vpn)
 
         # Step 2: L2 (inclusive of the SA L1 only).
         latency = self.config.l2_latency
@@ -305,6 +321,8 @@ class MMU:
                 is_superpage=True,
             )
             self.superpage_tlb.insert_superpage(base)
+            if self._obs is not None:
+                self._obs.on_superpage_fill(vpn)
             return
 
         design = self.config.design
@@ -358,7 +376,7 @@ class MMU:
     def _fill_baseline(self, translation: Translation) -> None:
         self._insert_l2_translation(translation)
         self.l1.insert_translation(translation)
-        self.counters.increment("uncoalesced_fills")
+        self._count_fill(1)
 
     def _fill_colt_sa(self, vpn: int, walk) -> None:
         """Coalesce within the cache line, clipped per TLB's index scheme."""
@@ -410,6 +428,8 @@ class MMU:
             self.counters.increment("coalesced_fills")
         else:
             self.counters.increment("uncoalesced_fills")
+        if self._obs is not None:
+            self._obs.on_fill(run_length)
 
     # ------------------------------------------------------------------
     # Shootdowns.
@@ -424,6 +444,8 @@ class MMU:
         may have changed (e.g. a THP split replaces a PDE).
         """
         self.counters.increment("invalidations")
+        if self._obs is not None:
+            self._obs.on_shootdown(vpn)
         self.l1.invalidate(vpn)
         self.l2.invalidate(vpn)
         self.superpage_tlb.invalidate(vpn)

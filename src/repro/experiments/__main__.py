@@ -9,6 +9,15 @@ results persist in an on-disk store (``.colt-cache/`` or
 ``$COLT_RESULT_CACHE``; see ``repro.sim.store``) so repeated
 invocations only pay for configurations they have not seen.
 
+Observability (``repro.obs``) is wired here:
+
+* ``--trace [FILE]`` records a Chrome/Perfetto trace of the run
+  (spans for boot/capture/replay/store, sampled TLB events) plus a
+  ``<FILE stem>.metrics.json`` snapshot;
+* ``--profile`` collects the metrics snapshot without event tracing;
+* ``--report [FILE]`` prints (or writes) the human run report;
+* ``-q`` / ``-v`` control the library log level.
+
 The elapsed-time stamps printed here are display-only terminal feedback
 (monotonic ``perf_counter``); they are never serialized into experiment
 results, which stay a pure function of configuration and seed. This
@@ -20,8 +29,14 @@ from __future__ import annotations
 import argparse
 import os
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs.export import write_chrome_trace, write_metrics_json
+from repro.obs.logging import configure_logging
+from repro.obs.registry import get_registry
+from repro.obs.report import RunReport
+from repro.obs.trace import PROFILE_ENV, TRACE_ENV, reset_tracing
 from repro.sim.runner import ExperimentRunner
 from repro.sim.store import ResultStore
 from repro.experiments.registry import EXPERIMENTS, resolve_experiments
@@ -56,6 +71,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="clear the result store before running",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="colt-trace.json", default=None,
+        metavar="FILE",
+        help="record a Chrome/Perfetto trace to FILE (default "
+             "colt-trace.json) plus a FILE-stem .metrics.json snapshot",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect the metrics snapshot without event tracing",
+    )
+    parser.add_argument(
+        "--report", nargs="?", const="-", default=None, metavar="FILE",
+        help="print the run report ('-' or no value: stdout; else "
+             "write to FILE); implies --profile",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress summary lines; library logs at ERROR only",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="library log level: -v INFO, -vv DEBUG",
+    )
     return parser
 
 
@@ -67,11 +105,63 @@ def _list_experiments() -> None:
     print("\nScale: set REPRO_SCALE=quick|default|full")
 
 
+def _enable_obs(args) -> bool:
+    """Export the obs env vars (workers inherit them); True when active.
+
+    The variables must be set before the runner -- and therefore before
+    its store and any pool worker -- is created, because components
+    resolve the tracer once at construction.
+    """
+    active = False
+    if args.trace is not None:
+        os.environ[TRACE_ENV] = "1"
+        active = True
+    if args.profile or args.report is not None:
+        os.environ[PROFILE_ENV] = "1"
+        active = True
+    if active:
+        reset_tracing()
+    return active
+
+
+def _emit_obs(args, runner: ExperimentRunner) -> None:
+    """Write/print the requested trace, metrics and report artifacts."""
+    events = runner.trace_events()
+    snapshot = get_registry().snapshot()
+    if args.trace is not None:
+        trace_path = Path(args.trace)
+        write_chrome_trace(
+            trace_path, events,
+            metadata={"tool": "repro.experiments", "ids": list(args.ids)},
+        )
+        metrics_path = trace_path.with_suffix(".metrics.json")
+        write_metrics_json(metrics_path, snapshot)
+        if not args.quiet:
+            print(
+                f"trace: {len(events)} events -> {trace_path} "
+                f"(metrics: {metrics_path})"
+            )
+    if args.report is not None:
+        report = RunReport.build(
+            events, snapshot, dropped_events=runner.dropped_events()
+        )
+        if args.report == "-":
+            print()
+            print(report.render(), end="")
+        else:
+            Path(args.report).write_text(report.render(), encoding="utf-8")
+            if not args.quiet:
+                print(f"report -> {args.report}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if not args.ids:
         _list_experiments()
         return 0
+
+    configure_logging(-1 if args.quiet else args.verbose)
+    obs_enabled = _enable_obs(args)
 
     experiments = resolve_experiments(args.ids)
     scale = scale_from_env()
@@ -91,8 +181,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         started = time.perf_counter()
         result = experiment.run(scale, runner)
         elapsed = time.perf_counter() - started
-        print(f"\n=== {experiment.title} ({elapsed:.1f}s) ===")
-        print(result.format_table())
+        if not args.quiet:
+            print(f"\n=== {experiment.title} ({elapsed:.1f}s) ===")
+            print(result.format_table())
+
+    summary = runner.store_summary()
+    if summary is not None and not args.quiet:
+        print(
+            f"\nstore: {summary['hits']:.0f} hits, "
+            f"{summary['misses']:.0f} misses, "
+            f"{summary['evictions']:.0f} evictions, "
+            f"{summary['saves']:.0f} saves "
+            f"({summary['hit_ratio']:.0%} hit ratio)"
+        )
+    if obs_enabled:
+        _emit_obs(args, runner)
     return 0
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExperimentError
+from repro.obs.trace import span
 from repro.sim.runner import ExperimentRunner
 from repro.experiments.ablations import (
     run_fasize_ablation,
@@ -38,7 +39,10 @@ class Experiment:
     def run(
         self, scale: ExperimentScale, runner: Optional[ExperimentRunner] = None
     ):
-        return self.runner(scale, runner)
+        with span(
+            f"experiment.{self.id}", cat="experiment", accesses=scale.accesses
+        ):
+            return self.runner(scale, runner)
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

@@ -1,0 +1,83 @@
+"""repro.obs: unified telemetry across the OS/TLB/runner stack.
+
+One subsystem, four pieces (see DESIGN.md section 6):
+
+* :mod:`repro.obs.registry` -- metrics registry (counters, gauges,
+  histograms with labels); components bind their ``CounterSet``s via
+  zero-hot-path-cost collectors.
+* :mod:`repro.obs.trace` -- ring-buffered structured tracer (spans for
+  boot/capture/replay/store/compaction, sampled per-access TLB
+  events), gated by ``COLT_TRACE`` like the sanitizers' gate.
+* :mod:`repro.obs.export` -- Chrome/Perfetto trace-event JSON, metrics
+  JSON/CSV.
+* :mod:`repro.obs.report` -- the human :class:`RunReport` (per-phase
+  wall-time, worker utilisation, store hit ratio, coalescing
+  histograms, buddy fragmentation timeline).
+
+Observability never mutates simulator state: a traced run's
+``SimulationResult``s are bit-identical to an untraced run's, and with
+everything disabled the hooks cost one ``is None`` check each.
+"""
+
+from repro.obs.hooks import (
+    KernelObserver,
+    MMUObserver,
+    ObsPayload,
+    drain_worker_obs,
+    reset_worker_obs,
+)
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    bind_counterset,
+    get_registry,
+    set_registry,
+)
+from repro.obs.report import RunReport
+from repro.obs.trace import (
+    PROFILE_ENV,
+    TRACE_ENV,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    obs_active,
+    reset_tracing,
+    span,
+    tracing_requested,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelObserver",
+    "MMUObserver",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsPayload",
+    "PROFILE_ENV",
+    "RunReport",
+    "TRACE_ENV",
+    "TraceEvent",
+    "Tracer",
+    "bind_counterset",
+    "configure_logging",
+    "current_tracer",
+    "disable_tracing",
+    "drain_worker_obs",
+    "enable_tracing",
+    "get_logger",
+    "get_registry",
+    "obs_active",
+    "reset_tracing",
+    "reset_worker_obs",
+    "set_registry",
+    "span",
+    "tracing_requested",
+]

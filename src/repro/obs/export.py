@@ -1,0 +1,208 @@
+"""Exporters: Chrome/Perfetto trace-event JSON and metrics snapshots.
+
+Three serialisations, all plain-stdlib:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace_dict` /
+  :func:`write_chrome_trace` / :func:`parse_chrome_trace`): the JSON
+  object format (``{"traceEvents": [...]}``) that both
+  ``chrome://tracing`` and Perfetto's trace processor ingest. Complete
+  spans are ``ph="X"``, instants ``ph="i"``, counter timelines
+  ``ph="C"``. The parser is the exporter's inverse -- the round trip is
+  asserted by ``tests/test_obs.py`` and the CI trace-validation step.
+* **Metrics JSON** (:func:`write_metrics_json` /
+  :func:`read_metrics_json`): a :class:`MetricsSnapshot` with a schema
+  tag, for ``tools/obs_report.py`` and CI artifacts.
+* **Metrics CSV** (:func:`metrics_csv`): one row per series, for
+  spreadsheet triage.
+
+:func:`validate_chrome_trace` performs the structural checks the CI
+traced-run job relies on (every event carries the required keys with
+the right types) and returns human-readable problems instead of
+raising, so the CLI can print them all at once.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.registry import MetricsSnapshot
+from repro.obs.trace import TraceEvent
+
+#: ``ph`` values this exporter emits (and the validator accepts).
+_KNOWN_PHASES = frozenset(("X", "i", "C", "M"))
+
+
+def chrome_trace_dict(
+    events: List[TraceEvent], metadata: Optional[Dict[str, object]] = None
+) -> dict:
+    """Events as a Chrome trace-event JSON object (Perfetto-loadable)."""
+    trace_events: List[dict] = []
+    names: Dict[int, str] = {}
+    for event in events:
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts_us,
+            "pid": event.pid,
+            "tid": event.tid,
+            "args": dict(event.args),
+        }
+        if event.ph == "X":
+            record["dur"] = 0.0 if event.dur_us is None else event.dur_us
+        if event.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+        names.setdefault(event.pid, "")
+    # Name each process track so worker fan-out reads at a glance.
+    for pid in sorted(names):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"colt pid {pid}"},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: List[TraceEvent],
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_dict(events, metadata), handle)
+        handle.write("\n")
+    return path
+
+
+def parse_chrome_trace(source: Union[str, Path, dict]) -> List[TraceEvent]:
+    """Inverse of :func:`chrome_trace_dict` (metadata events skipped).
+
+    Accepts a path, a JSON string, or an already-parsed dict.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        text: str
+        if isinstance(source, Path) or (
+            isinstance(source, str) and "\n" not in source
+            and source.strip().endswith(".json")
+        ):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        data = json.loads(text)
+    events: List[TraceEvent] = []
+    for record in data.get("traceEvents", ()):
+        if record.get("ph") == "M":
+            continue
+        events.append(
+            TraceEvent(
+                name=record["name"],
+                cat=record.get("cat", ""),
+                ph=record["ph"],
+                ts_us=float(record["ts"]),
+                dur_us=(
+                    float(record["dur"]) if "dur" in record else None
+                ),
+                pid=int(record["pid"]),
+                tid=int(record.get("tid", 0)),
+                args=dict(record.get("args", {})),
+            )
+        )
+    return events
+
+
+def validate_chrome_trace(data: dict) -> List[str]:
+    """Structural problems with a trace JSON object ([] when valid)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, record in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = record.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if "name" not in record or "pid" not in record:
+            problems.append(f"{where}: missing name/pid")
+        if ph != "M" and not isinstance(record.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+        if ph == "X" and not isinstance(record.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event missing numeric dur")
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+    return problems
+
+
+def span_names(events: List[TraceEvent]) -> Dict[str, int]:
+    """Complete-span name -> occurrence count (validation helper)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.ph == "X":
+            counts[event.name] = counts.get(event.name, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshots.
+# ---------------------------------------------------------------------------
+
+
+def write_metrics_json(
+    path: Union[str, Path], snapshot: MetricsSnapshot
+) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(snapshot.to_json_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_metrics_json(path: Union[str, Path]) -> MetricsSnapshot:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return MetricsSnapshot.from_json_dict(data)
+
+
+def metrics_csv(snapshot: MetricsSnapshot) -> str:
+    """One CSV row per series: name,kind,unit,labels,value,count,sum."""
+    out = io.StringIO()
+    out.write("name,kind,unit,labels,value,count,sum\n")
+    for name in sorted(snapshot.instruments):
+        entry = snapshot.instruments[name]
+        for sample in entry["series"]:
+            labels = ";".join(
+                f"{k}={v}" for k, v in sorted(sample["labels"].items())
+            )
+            if "value" in sample:
+                value, count, total = sample["value"], "", ""
+            else:
+                value = ""
+                count, total = sample["count"], sample["sum"]
+            out.write(
+                f"{name},{entry['kind']},{entry.get('unit', '')},"
+                f"\"{labels}\",{value},{count},{total}\n"
+            )
+    return out.getvalue()

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.sanitizers import PageTableSanitizer, resolve_sanitize
+from repro.obs.hooks import KernelObserver
 from repro.common.errors import ConfigurationError, OutOfMemoryError, PageFaultError
 from repro.common.rng import SeedSequencer
 from repro.common.statistics import CounterSet
@@ -151,6 +152,7 @@ class Kernel:
         self._table_pool: List[int] = []
         self._ticks = 0
         self._last_compaction_tick = -config.compaction_cooldown_ticks
+        self._obs: Optional[KernelObserver] = KernelObserver.create(self)
         self._reserve_kernel_frames()
 
     # ------------------------------------------------------------------
@@ -561,6 +563,8 @@ class Kernel:
                 until_free_order=order,
             )
         self._maintain_watermark()
+        if self._obs is not None:
+            self._obs.on_tick()
 
     # ------------------------------------------------------------------
     # Frame plumbing.

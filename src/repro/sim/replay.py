@@ -37,6 +37,7 @@ from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.cache.mmu_cache import MMUCache
 from repro.core.mmu import MMU, make_mmu_config
 from repro.core.performance import evaluate_performance, perfect_tlb_result
+from repro.obs.trace import span
 from repro.sim.scenario import (
     _LINE_ATTR_BASE,
     _LINE_PFN_BASE,
@@ -195,21 +196,27 @@ def replay_scenario(
     access = mmu.access
     invalidate_range = mmu.invalidate_range
 
-    for index in range(vpns.size):
-        while pending < total_events and int(before[pending]) <= index:
+    with span(
+        "replay",
+        design=config.design.value,
+        benchmark=config.benchmark,
+        accesses=int(vpns.size),
+    ):
+        for index in range(vpns.size):
+            while pending < total_events and int(before[pending]) <= index:
+                invalidate_range(int(starts[pending]), int(counts[pending]))
+                pending += 1
+            walker.cursor = index
+            access(int(vpns[index]))
+            pollution.after_access()
+        # Shootdowns that trailed the final access still reach the MMU
+        # before its counters are snapshotted.
+        while pending < total_events:
             invalidate_range(int(starts[pending]), int(counts[pending]))
             pending += 1
-        walker.cursor = index
-        access(int(vpns[index]))
-        pollution.after_access()
-    # Shootdowns that trailed the final access still reach the MMU
-    # before its counters are snapshotted.
-    while pending < total_events:
-        invalidate_range(int(starts[pending]), int(counts[pending]))
-        pending += 1
 
-    if mmu.sanitizer is not None:
-        mmu.sanitizer.full_scan()
+        if mmu.sanitizer is not None:
+            mmu.sanitizer.full_scan()
 
     distinct_lines = int(np.unique(vpns >> 3).size)
     discount = float(distinct_lines * caches.config.dram_latency)

@@ -28,6 +28,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mmu import CoLTDesign, MMUConfig
+from repro.obs.hooks import ObsPayload, drain_worker_obs, reset_worker_obs
+from repro.obs.registry import get_registry
+from repro.obs.trace import TraceEvent, current_tracer, span
 from repro.sim.metrics import (
     EliminationRow,
     PerformanceRow,
@@ -48,16 +51,23 @@ STANDARD_DESIGNS: Tuple[CoLTDesign, ...] = (
 )
 
 
-def _capture_task(config: SimulationConfig) -> CapturedScenario:
-    """Worker entry point: one scenario capture (module-level, picklable)."""
-    return capture_scenario(config)
+def _capture_task(
+    config: SimulationConfig,
+) -> Tuple[CapturedScenario, Optional[ObsPayload]]:
+    """Worker entry point: one scenario capture (module-level, picklable).
+
+    The second element carries the worker's drained observability state
+    (``None`` in the common untraced case) back to the parent.
+    """
+    return capture_scenario(config), drain_worker_obs()
 
 
 def _replay_task(
     scenario: CapturedScenario, configs: Sequence[SimulationConfig]
-) -> List[SimulationResult]:
+) -> Tuple[List[SimulationResult], Optional[ObsPayload]]:
     """Worker entry point: replay one scenario under several configs."""
-    return [replay_scenario(scenario, config) for config in configs]
+    results = [replay_scenario(scenario, config) for config in configs]
+    return results, drain_worker_obs()
 
 
 def _chunk(items: Sequence, pieces: int) -> List[List]:
@@ -95,6 +105,47 @@ class ExperimentRunner:
         self._monolithic = monolithic
         self._cache: Dict[SimulationConfig, SimulationResult] = {}
         self._scenarios: Dict[SimulationConfig, CapturedScenario] = {}
+        # Observability state shipped back from pool workers.
+        self._foreign_events: List[TraceEvent] = []
+        self._foreign_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Observability surface.
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self._store
+
+    def store_summary(self) -> Optional[Dict[str, float]]:
+        """Result-store effectiveness for the CLI summary line."""
+        if self._store is None:
+            return None
+        counts = self._store.counters.as_dict()
+        lookups = counts["hits"] + counts["misses"]
+        counts["hit_ratio"] = counts["hits"] / lookups if lookups else 0.0
+        return counts
+
+    def trace_events(self) -> List[TraceEvent]:
+        """This process's buffered events plus those of its workers."""
+        tracer = current_tracer()
+        events = list(self._foreign_events)
+        if tracer is not None:
+            events.extend(tracer.events())
+        events.sort(key=lambda event: event.ts_us)
+        return events
+
+    def dropped_events(self) -> int:
+        tracer = current_tracer()
+        return self._foreign_dropped + (tracer.dropped if tracer else 0)
+
+    def _absorb(self, payload: Optional[ObsPayload]) -> None:
+        """Fold one worker task's drained obs state into this process."""
+        if payload is None:
+            return
+        self._foreign_events.extend(payload.events)
+        self._foreign_dropped += payload.dropped_events
+        get_registry().merge_snapshot(payload.metrics)
 
     # ------------------------------------------------------------------
     # Execution.
@@ -118,7 +169,11 @@ class ExperimentRunner:
         for config in configs:
             if config in self._cache or config in seen:
                 continue
-            stored = self._store.load(config) if self._store else None
+            # ``is not None``, not truthiness: ResultStore has __len__,
+            # so an empty (cold) store is falsy and would skip load().
+            stored = (
+                self._store.load(config) if self._store is not None else None
+            )
             if stored is not None:
                 self._cache[config] = stored
                 continue
@@ -126,11 +181,18 @@ class ExperimentRunner:
             pending.append(config)
 
         if pending:
-            if self._monolithic:
-                for config in pending:
-                    self._finish(config, simulate(config))
-            else:
-                self._run_captured(pending)
+            with span(
+                "runner.run_batch",
+                configs=len(configs),
+                pending=len(pending),
+                jobs=self._jobs,
+                monolithic=self._monolithic,
+            ):
+                if self._monolithic:
+                    for config in pending:
+                        self._finish(config, simulate(config))
+                else:
+                    self._run_captured(pending)
         return {config: self._cache[config] for config in configs}
 
     def _finish(
@@ -154,12 +216,18 @@ class ExperimentRunner:
                 replay_chunks.append((key, chunk))
 
         if self._jobs > 1 and len(to_capture) + len(replay_chunks) > 1:
-            with ProcessPoolExecutor(max_workers=self._jobs) as pool:
+            # The initializer drops the tracer/registry state a forked
+            # worker inherits from this process -- without it, the
+            # parent's buffered events would be reported twice.
+            with ProcessPoolExecutor(
+                max_workers=self._jobs, initializer=reset_worker_obs
+            ) as pool:
                 if to_capture:
-                    for key, scenario in zip(
+                    for key, (scenario, payload) in zip(
                         to_capture, pool.map(_capture_task, to_capture)
                     ):
                         self._scenarios[key] = scenario
+                        self._absorb(payload)
                 futures = [
                     (chunk, pool.submit(
                         _replay_task, self._scenarios[key], chunk
@@ -167,7 +235,9 @@ class ExperimentRunner:
                     for key, chunk in replay_chunks
                 ]
                 for chunk, future in futures:
-                    for config, result in zip(chunk, future.result()):
+                    results, payload = future.result()
+                    self._absorb(payload)
+                    for config, result in zip(chunk, results):
                         self._finish(config, result)
         else:
             for key in to_capture:

@@ -39,6 +39,7 @@ from repro.common.rng import SeedSequencer
 from repro.common.statistics import CounterSnapshot
 from repro.contiguity.scanner import ContiguityReport
 from repro.core.mmu import CoLTDesign
+from repro.obs.trace import span
 from repro.osmem.kernel import Kernel
 from repro.osmem.memhog import Memhog, age_system
 from repro.osmem.process import Process
@@ -119,37 +120,47 @@ class ScenarioEngine:
     def prepare(self) -> None:
         """Boot the kernel, age it, start memhog, lay out the benchmark."""
         config = self.config
-        self.kernel = Kernel(config.kernel, sanitize=config.sanitize)
-        if config.aging is not None:
-            self._daemons = age_system(self.kernel, self._seeds, config.aging)
-        else:
-            daemon = self.kernel.create_process("background0", fault_batch=4)
-            self.kernel.register_reclaim_victim(daemon)
-            self._daemons = [daemon]
-        if config.memhog_fraction > 0:
-            Memhog(self.kernel, config.memhog_fraction, self._seeds).start()
+        with span("kernel.boot", benchmark=config.benchmark):
+            self.kernel = Kernel(config.kernel, sanitize=config.sanitize)
+        with span("aging", aged=config.aging is not None):
+            if config.aging is not None:
+                self._daemons = age_system(
+                    self.kernel, self._seeds, config.aging
+                )
+            else:
+                daemon = self.kernel.create_process(
+                    "background0", fault_batch=4
+                )
+                self.kernel.register_reclaim_victim(daemon)
+                self._daemons = [daemon]
+            if config.memhog_fraction > 0:
+                Memhog(
+                    self.kernel, config.memhog_fraction, self._seeds
+                ).start()
 
-        self.process = self.kernel.create_process(self.profile.name)
-        pages = scaled_region_pages(self.profile, config.scale)
-        bases: Dict[str, int] = {}
-        for region in self.profile.regions:
-            vma = self.kernel.malloc(
-                self.process,
-                pages[region.name],
-                name=region.name,
-                populate=region.populate,
-                kind=region.kind,
-                thp_eligible=region.thp_eligible,
-                populate_batch=region.fault_batch,
+        with span("layout", benchmark=self.profile.name):
+            self.process = self.kernel.create_process(self.profile.name)
+            pages = scaled_region_pages(self.profile, config.scale)
+            bases: Dict[str, int] = {}
+            for region in self.profile.regions:
+                vma = self.kernel.malloc(
+                    self.process,
+                    pages[region.name],
+                    name=region.name,
+                    populate=region.populate,
+                    kind=region.kind,
+                    thp_eligible=region.thp_eligible,
+                    populate_batch=region.fault_batch,
+                )
+                bases[region.name] = vma.start_vpn
+        with span("trace.generate", accesses=config.accesses):
+            self.trace = generate_trace(
+                self.profile,
+                bases,
+                config.accesses,
+                self._seeds.rng("trace"),
+                scale=config.scale,
             )
-            bases[region.name] = vma.start_vpn
-        self.trace = generate_trace(
-            self.profile,
-            bases,
-            config.accesses,
-            self._seeds.rng("trace"),
-            scale=config.scale,
-        )
         self._region_bounds = sorted(
             (bases[r.name], bases[r.name] + pages[r.name], r.fault_batch)
             for r in self.profile.regions
@@ -333,12 +344,19 @@ def capture_scenario(config: "SimulationConfig") -> CapturedScenario:
     engine = ScenarioEngine(config)
     engine.prepare()
     recorder = _CaptureRecorder(engine, len(engine.trace.vpns))
-    engine.run_loop(recorder.on_access)
-    engine.sanity_check()
+    with span(
+        "capture",
+        benchmark=config.benchmark,
+        accesses=config.accesses,
+        seed=config.seed,
+    ):
+        engine.run_loop(recorder.on_access)
+        engine.sanity_check()
 
-    records, record_index = np.unique(
-        recorder.records, axis=0, return_inverse=True
-    )
+    with span("capture.dedup", rows=len(recorder.records)):
+        records, record_index = np.unique(
+            recorder.records, axis=0, return_inverse=True
+        )
     if recorder.events:
         event_array = np.asarray(recorder.events, dtype=np.int64)
     else:

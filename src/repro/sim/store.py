@@ -40,7 +40,13 @@ from pathlib import Path
 from typing import Optional
 
 from repro.common import constants
+from repro.common.statistics import CounterSet
+from repro.obs.logging import get_logger
+from repro.obs.registry import bind_counterset, get_registry
+from repro.obs.trace import current_tracer, obs_active
 from repro.sim.system import SimulationConfig, SimulationResult
+
+_LOG = get_logger(__name__)
 
 #: Environment variable naming the store directory.
 STORE_ENV = "COLT_RESULT_CACHE"
@@ -97,6 +103,10 @@ class ResultStore:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.counters = CounterSet(["hits", "misses", "evictions", "saves"])
+        self._tracer = current_tracer()
+        if obs_active():
+            bind_counterset(get_registry(), "colt_store", self.counters)
 
     @classmethod
     def from_env(cls, default: Optional[str] = DEFAULT_STORE_DIR
@@ -120,28 +130,52 @@ class ResultStore:
 
     def load(self, config: SimulationConfig) -> Optional[SimulationResult]:
         """Return the stored result for ``config``, or None."""
+        if self._tracer is None:
+            return self._load(config)
+        with self._tracer.span("store.get", cat="store") as span_args:
+            result = self._load(config)
+            span_args["hit"] = result is not None
+            return result
+
+    def _load(self, config: SimulationConfig) -> Optional[SimulationResult]:
         path = self._path(config)
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
+            self.counters.increment("misses")
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError):
             # A torn or stale entry: drop it and recompute.
+            _LOG.warning("dropping unreadable store entry %s", path.name)
             path.unlink(missing_ok=True)
+            self.counters.increment("evictions")
+            self.counters.increment("misses")
             return None
         if not isinstance(result, SimulationResult) or result.config != config:
+            _LOG.warning("dropping mismatched store entry %s", path.name)
             path.unlink(missing_ok=True)
+            self.counters.increment("evictions")
+            self.counters.increment("misses")
             return None
+        self.counters.increment("hits")
         return result
 
     def save(self, config: SimulationConfig, result: SimulationResult) -> None:
         """Persist ``result`` atomically (safe under concurrent writers)."""
+        if self._tracer is None:
+            self._save(config, result)
+            return
+        with self._tracer.span("store.put", cat="store"):
+            self._save(config, result)
+
+    def _save(self, config: SimulationConfig, result: SimulationResult) -> None:
         path = self._path(config)
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with temp.open("wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp, path)
+        self.counters.increment("saves")
 
     def clear(self) -> int:
         """Delete every stored entry; returns the number removed."""

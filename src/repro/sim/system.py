@@ -47,6 +47,7 @@ from repro.core.performance import (
     evaluate_performance,
     perfect_tlb_result,
 )
+from repro.obs.trace import span
 from repro.osmem.kernel import Kernel, KernelConfig
 from repro.osmem.memhog import AgingProfile
 from repro.osmem.process import Process
@@ -223,11 +224,17 @@ class SystemSimulator:
             access(vpn)
             after_access()
 
-        self._engine.run_loop(on_access)
+        with span(
+            "simulate",
+            design=self.config.design.value,
+            benchmark=self.config.benchmark,
+            accesses=self.config.accesses,
+        ):
+            self._engine.run_loop(on_access)
 
-        # A parting full sweep: if anything drifted during the run, fail
-        # here rather than hand back silently-corrupt statistics.
-        self.sanity_check()
+            # A parting full sweep: if anything drifted during the run,
+            # fail here rather than hand back silently-corrupt statistics.
+            self.sanity_check()
 
         # Discount the DRAM cost of compulsory PTE-line fetches: every
         # design pays them once per distinct line, and at the paper's

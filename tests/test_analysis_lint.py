@@ -139,6 +139,33 @@ class TestPragma:
         assert rules_of(source) == ["float-eq"]
 
 
+class TestNoPrint:
+    LIB = "src/repro/sim/module.py"
+
+    def test_print_in_library_code_flagged(self):
+        assert rules_of("print('hi')\n", self.LIB) == ["no-print"]
+
+    def test_main_modules_exempt(self):
+        source = "print('usage: ...')\n"
+        assert rules_of(source, "src/repro/experiments/__main__.py") == []
+
+    def test_allow_listed_cli_tools_exempt(self):
+        source = "print('diagnostic')\n"
+        assert rules_of(source, "src/repro/analysis/lint.py") == []
+        assert rules_of(source, "src/repro/analysis/determinism.py") == []
+
+    def test_outside_repro_tree_exempt(self):
+        assert rules_of("print('x')\n", "tools/helper.py") == []
+
+    def test_pragma_escapes(self):
+        source = "print('x')  # colt-lint: disable=no-print\n"
+        assert rules_of(source, self.LIB) == []
+
+    def test_method_named_print_allowed(self):
+        # Only the builtin is banned; attribute calls are not.
+        assert rules_of("writer.print('x')\n", self.LIB) == []
+
+
 class TestCli:
     def test_exit_zero_on_clean_file(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"
@@ -186,6 +213,7 @@ class TestRepoIsClean:
             "wall-clock",
             "mutable-default",
             "float-eq",
+            "no-print",
         }
 
 
@@ -193,9 +221,11 @@ class TestRepoIsClean:
 def test_each_rule_fires_somewhere(rule):
     """Belt and braces: one violating snippet per rule."""
     samples = {
-        "rng-module-state": "import random\n",
-        "wall-clock": "import time\ntime.time()\n",
-        "mutable-default": "def f(x=[]):\n    return x\n",
-        "float-eq": "ok = x == 0.5\n",
+        "rng-module-state": ("import random\n", "sim/module.py"),
+        "wall-clock": ("import time\ntime.time()\n", "sim/module.py"),
+        "mutable-default": ("def f(x=[]):\n    return x\n", "sim/module.py"),
+        "float-eq": ("ok = x == 0.5\n", "sim/module.py"),
+        "no-print": ("print('x')\n", "src/repro/sim/module.py"),
     }
-    assert rules_of(samples[rule]) == [rule]
+    source, path = samples[rule]
+    assert rules_of(source, path) == [rule]

@@ -15,6 +15,15 @@ exits non-zero if the speedup falls below ``--min-speedup`` (CI runs
 with ``--min-speedup 2.0 --jobs 4``; on a single-core box pass
 ``--min-speedup 0`` to just record numbers).
 
+A third, untimed-against-the-threshold phase exercises the on-disk
+result store in a temporary directory -- one cold pipeline populating
+it, one warm pipeline replaying from it -- and records the store's
+hit/miss/eviction/save counters plus the warm-over-cold speedup in the
+artifact's ``store`` section (``--skip-store`` omits it).
+``--max-trace-overhead X`` adds a ``COLT_TRACE=1`` run of the parallel
+pipeline and fails if traced wall-clock exceeds ``X`` times the
+untraced parallel time.
+
 Benchmarking needs ``time.perf_counter``, so this file sits on the
 determinism lint's ``WALL_CLOCK_ALLOW`` list; the timings go to the
 artifact and the terminal only -- nothing here feeds back into
@@ -27,14 +36,17 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
+from repro.obs.trace import TRACE_ENV, reset_tracing  # noqa: E402
 from repro.sim.runner import ExperimentRunner  # noqa: E402
 from repro.sim.scenario import scenario_config  # noqa: E402
+from repro.sim.store import ResultStore  # noqa: E402
 from repro.experiments.registry import get_experiment  # noqa: E402
 from repro.experiments.scale import QUICK  # noqa: E402
 
@@ -57,6 +69,48 @@ def _simulated_accesses(runner: ExperimentRunner) -> int:
     return sum(config.accesses for config in runner._cache)
 
 
+def _store_phase(jobs: int) -> dict:
+    """Cold-populate then warm-replay a throwaway result store."""
+    with tempfile.TemporaryDirectory(prefix="colt-bench-store-") as tmp:
+        cold_runner = ExperimentRunner(jobs=jobs, store=ResultStore(tmp))
+        started = time.perf_counter()
+        _time_pipeline(cold_runner)
+        cold_s = time.perf_counter() - started
+        cold = cold_runner.store_summary()
+
+        warm_runner = ExperimentRunner(jobs=jobs, store=ResultStore(tmp))
+        started = time.perf_counter()
+        _time_pipeline(warm_runner)
+        warm_s = time.perf_counter() - started
+        warm = warm_runner.store_summary()
+        entries = len(warm_runner.store)
+
+    return {
+        "entries": entries,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 3) if warm_s > 0 else None,
+        "cold": {k: round(v, 3) for k, v in cold.items()},
+        "warm": {k: round(v, 3) for k, v in warm.items()},
+    }
+
+
+def _traced_phase(jobs: int) -> dict:
+    """Time the parallel pipeline with ``COLT_TRACE=1`` exported."""
+    os.environ[TRACE_ENV] = "1"
+    reset_tracing()
+    try:
+        runner = ExperimentRunner(jobs=jobs)
+        started = time.perf_counter()
+        _time_pipeline(runner)
+        traced_s = time.perf_counter() - started
+        events = len(runner.trace_events())
+    finally:
+        os.environ.pop(TRACE_ENV, None)
+        reset_tracing()
+    return {"total_s": round(traced_s, 3), "events": events}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Time serial-monolithic vs parallel capture+replay "
@@ -75,6 +129,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default="BENCH_runner.json", metavar="FILE",
         help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--skip-store", action="store_true",
+        help="skip the cold/warm result-store phase",
+    )
+    parser.add_argument(
+        "--max-trace-overhead", type=float, default=None, metavar="X",
+        help="also run the pipeline with COLT_TRACE=1 and fail if "
+             "traced wall-clock exceeds X times the untraced parallel "
+             "time",
     )
     args = parser.parse_args(argv)
 
@@ -115,6 +179,19 @@ def main(argv=None) -> int:
         "speedup": round(speedup, 3),
         "min_speedup": args.min_speedup,
     }
+
+    if not args.skip_store:
+        report["store"] = _store_phase(args.jobs)
+
+    trace_overhead = None
+    if args.max_trace_overhead is not None:
+        report["traced"] = _traced_phase(args.jobs)
+        trace_overhead = (
+            report["traced"]["total_s"] / par_total if par_total > 0 else 0.0
+        )
+        report["traced"]["overhead_ratio"] = round(trace_overhead, 3)
+        report["traced"]["max_overhead_ratio"] = args.max_trace_overhead
+
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -125,13 +202,32 @@ def main(argv=None) -> int:
           f"({report['parallel_replay']['accesses_per_sec']:.0f} acc/s)")
     print(f"speedup           : {speedup:8.2f}x  (threshold "
           f"{args.min_speedup}x)")
+    if "store" in report:
+        store = report["store"]
+        print(f"store cold/warm   : {store['cold_s']:8.2f}s / "
+              f"{store['warm_s']:.2f}s "
+              f"({store['warm_speedup']}x warm speedup, "
+              f"{store['warm']['hits']:.0f} hits, "
+              f"{store['entries']} entries)")
+    if trace_overhead is not None:
+        print(f"traced overhead   : {trace_overhead:8.2f}x "
+              f"({report['traced']['events']} events, threshold "
+              f"{args.max_trace_overhead}x)")
     print(f"wrote {args.output}")
 
+    failed = False
     if speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x < required "
               f"{args.min_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if (
+        trace_overhead is not None
+        and trace_overhead > args.max_trace_overhead
+    ):
+        print(f"FAIL: traced overhead {trace_overhead:.2f}x > allowed "
+              f"{args.max_trace_overhead}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

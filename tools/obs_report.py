@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Offline run reports and trace validation from obs artifacts.
+
+Consumes the artifacts a ``--trace`` run of ``python -m
+repro.experiments`` writes -- the Chrome/Perfetto trace JSON and the
+companion ``.metrics.json`` snapshot -- and renders the same
+:class:`repro.obs.report.RunReport` the ``--report`` flag prints live:
+
+    python tools/obs_report.py colt-trace.json
+    python tools/obs_report.py colt-trace.json --metrics colt-trace.metrics.json
+
+Validation mode is what CI runs against the traced-smoke artifact:
+
+    python tools/obs_report.py colt-trace.json --validate \\
+        --min-instruments 15 --require-span capture --require-span replay
+
+``--validate`` checks the trace's structure (every event carries the
+keys Perfetto needs), ``--require-span NAME`` asserts at least one
+complete span with that name, and ``--min-instruments N`` asserts the
+metrics snapshot carries at least N distinct instruments. Exit status
+is nonzero on any failed check.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import (  # noqa: E402
+    parse_chrome_trace,
+    read_metrics_json,
+    span_names,
+    validate_chrome_trace,
+)
+from repro.obs.report import RunReport  # noqa: E402
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python tools/obs_report.py",
+        description="Render or validate CoLT observability artifacts.",
+    )
+    parser.add_argument(
+        "trace", type=Path, help="Chrome trace-event JSON file"
+    )
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="FILE",
+        help="metrics snapshot JSON (default: <trace stem>.metrics.json "
+             "when present)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check trace structure instead of printing the full report",
+    )
+    parser.add_argument(
+        "--min-instruments", type=int, default=None, metavar="N",
+        help="fail unless the metrics snapshot has at least N instruments",
+    )
+    parser.add_argument(
+        "--require-span", action="append", default=[], metavar="NAME",
+        help="fail unless the trace holds a complete span named NAME "
+             "(repeatable)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if not args.trace.exists():
+        print(f"obs_report: no such trace: {args.trace}", file=sys.stderr)
+        return 2
+
+    data = json.loads(args.trace.read_text(encoding="utf-8"))
+    failures = []
+    if args.validate:
+        for problem in validate_chrome_trace(data):
+            failures.append(f"trace structure: {problem}")
+    events = parse_chrome_trace(data)
+
+    metrics_path = args.metrics
+    if metrics_path is None:
+        candidate = args.trace.with_suffix(".metrics.json")
+        if candidate.exists():
+            metrics_path = candidate
+    snapshot = read_metrics_json(metrics_path) if metrics_path else None
+
+    names = span_names(events)
+    for required in args.require_span:
+        if not names.get(required):
+            failures.append(f"required span missing: {required!r}")
+    if args.min_instruments is not None:
+        have = len(snapshot) if snapshot is not None else 0
+        if have < args.min_instruments:
+            failures.append(
+                f"instruments: {have} < required {args.min_instruments}"
+                + ("" if snapshot is not None else " (no metrics JSON found)")
+            )
+
+    if args.validate or failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        if not failures:
+            spans = sum(names.values())
+            print(
+                f"OK {args.trace}: {len(events)} events, {spans} spans "
+                f"({len(names)} distinct), "
+                f"{len(snapshot) if snapshot is not None else 0} instruments"
+            )
+        return 1 if failures else 0
+
+    report = RunReport.build(events, snapshot)
+    print(report.render(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
