@@ -7,6 +7,8 @@ subsystem that raises them.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -46,6 +48,28 @@ class SanitizerError(ReproError):
 
 class SimulationError(ReproError):
     """A full-system run lost internal consistency (e.g. replay desync)."""
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately injected by a ``COLT_FAULTS`` plan.
+
+    Raised by :class:`repro.sim.faults.FaultPlan` at the scheduled
+    injection site; never raised by real simulator logic, so tests can
+    assert that a failure was the planned one.
+    """
+
+
+class TaskExecutionError(SimulationError):
+    """A runner task kept failing after every configured retry.
+
+    Carries the offending task's configuration attribution (benchmark,
+    seed, designs) in ``context`` so a crashed batch names the scenario
+    that sank it instead of a bare worker traceback.
+    """
+
+    def __init__(self, message: str, context: Optional[Dict[str, object]] = None):
+        super().__init__(message)
+        self.context = dict(context or {})
 
 
 class DeterminismError(ReproError):

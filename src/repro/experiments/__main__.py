@@ -18,6 +18,13 @@ Observability (``repro.obs``) is wired here:
 * ``--report [FILE]`` prints (or writes) the human run report;
 * ``-q`` / ``-v`` control the library log level.
 
+Resilience (``repro.sim.resilience``) is configurable per run:
+``--retries`` / ``--task-timeout`` override the ``COLT_RETRIES`` /
+``COLT_TASK_TIMEOUT`` environment defaults, and a ``COLT_FAULTS`` plan
+(see ``repro.sim.faults``) injects deterministic worker crashes, task
+exceptions, delays and store corruption for chaos testing. When the
+resilience layer absorbed anything, a summary line reports it.
+
 The elapsed-time stamps printed here are display-only terminal feedback
 (monotonic ``perf_counter``); they are never serialized into experiment
 results, which stay a pure function of configuration and seed. This
@@ -29,6 +36,7 @@ from __future__ import annotations
 import argparse
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -37,6 +45,7 @@ from repro.obs.logging import configure_logging
 from repro.obs.registry import get_registry
 from repro.obs.report import RunReport
 from repro.obs.trace import PROFILE_ENV, TRACE_ENV, reset_tracing
+from repro.sim.resilience import RetryPolicy
 from repro.sim.runner import ExperimentRunner
 from repro.sim.store import ResultStore
 from repro.experiments.registry import EXPERIMENTS, resolve_experiments
@@ -70,6 +79,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--clear-cache", action="store_true",
         help="clear the result store before running",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max resubmissions per failed capture/replay task "
+             "(default: $COLT_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline for pooled execution; 0 disables "
+             "(default: $COLT_TASK_TIMEOUT or none)",
     )
     parser.add_argument(
         "--trace", nargs="?", const="colt-trace.json", default=None,
@@ -176,7 +195,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"cleared {removed} cached results from {store.root}")
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
-    runner = ExperimentRunner(jobs=jobs, store=store)
+    policy = RetryPolicy.from_env()
+    if args.retries is not None:
+        policy = replace(policy, max_retries=max(0, args.retries))
+    if args.task_timeout is not None:
+        policy = replace(
+            policy,
+            timeout_s=args.task_timeout if args.task_timeout > 0 else None,
+        )
+    runner = ExperimentRunner(jobs=jobs, store=store, policy=policy)
     for experiment in experiments:
         started = time.perf_counter()
         result = experiment.run(scale, runner)
@@ -194,6 +221,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{summary['saves']:.0f} saves "
             f"({summary['hit_ratio']:.0%} hit ratio)"
         )
+    resilience = runner.resilience_summary()
+    if resilience is not None and not args.quiet:
+        parts = [
+            f"{value} {name}" for name, value in resilience.items() if value
+        ]
+        print("resilience: " + ", ".join(parts))
     if obs_enabled:
         _emit_obs(args, runner)
     return 0

@@ -178,7 +178,25 @@ def drain_worker_obs() -> Optional[ObsPayload]:
     return ObsPayload(events=events, metrics=metrics, dropped_events=dropped)
 
 
+#: True once this process has been initialised as a pool worker.
+_IN_POOL_WORKER = False
+
+
+def in_pool_worker() -> bool:
+    """True in a pool worker initialised by :func:`reset_worker_obs`.
+
+    Task bodies use this to decide whether to drain obs state into
+    their return payload: in a worker the drain is the only way events
+    reach the parent, but in the parent itself (serial execution, or a
+    runner that degraded to in-process mode) draining would reset the
+    very tracer/registry the run is still accumulating into.
+    """
+    return _IN_POOL_WORKER
+
+
 def reset_worker_obs() -> None:
     """Pool-worker initializer: drop obs state inherited over ``fork``."""
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
     reset_tracing()
     set_registry(MetricsRegistry())

@@ -70,6 +70,7 @@ class RunReport:
     workers: List[WorkerLine] = field(default_factory=list)
     wall_ms: float = 0.0
     store: Dict[str, float] = field(default_factory=dict)
+    resilience: Dict[str, float] = field(default_factory=dict)
     coalescing: Dict[str, dict] = field(default_factory=dict)
     buddy_timeline: Dict[str, float] = field(default_factory=dict)
     instrument_count: int = 0
@@ -95,6 +96,7 @@ class RunReport:
         if snapshot is not None:
             report.instrument_count = len(snapshot)
             report._aggregate_store(snapshot)
+            report._aggregate_resilience(snapshot)
             report._aggregate_coalescing(snapshot)
         return report
 
@@ -173,6 +175,25 @@ class RunReport:
                 "hit_ratio": hits / (hits + misses) if hits + misses else 0.0,
             }
 
+    def _aggregate_resilience(self, snapshot: MetricsSnapshot) -> None:
+        totals = {
+            name: snapshot.counter_total(f"colt_resilience_{name}")
+            for name in (
+                "retries", "timeouts", "task_errors", "pool_rebuilds",
+                "serial_downgrades", "failures",
+            )
+        }
+        totals["quarantines"] = snapshot.counter_total(
+            "colt_store_quarantines"
+        )
+        totals["faults_injected"] = snapshot.counter_total(
+            "colt_faults_injected"
+        )
+        # A fault-free run reports nothing: the resilience layer is
+        # interesting only when it absorbed damage.
+        if any(totals.values()):
+            self.resilience = totals
+
     def _aggregate_coalescing(self, snapshot: MetricsSnapshot) -> None:
         entry = snapshot.get("colt_coalesce_run_length")
         if entry is None:
@@ -238,6 +259,15 @@ class RunReport:
                 f"{self.store['saves']:.0f} saves "
                 f"({self.store['hit_ratio']:.0%} hit ratio)"
             )
+
+        if self.resilience:
+            parts = [
+                f"{value:.0f} {name}"
+                for name, value in self.resilience.items()
+                if value
+            ]
+            lines.append("")
+            lines.append("resilience: " + ", ".join(parts))
 
         if self.coalescing:
             lines.append("")

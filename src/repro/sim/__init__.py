@@ -1,5 +1,6 @@
 """Full-system simulation: configs, capture/replay, runners, metrics."""
 
+from repro.sim.faults import FAULTS_ENV, FaultPlan, FaultSpec
 from repro.sim.metrics import (
     EliminationRow,
     PerformanceRow,
@@ -7,6 +8,7 @@ from repro.sim.metrics import (
     performance_row,
 )
 from repro.sim.replay import ReplayWalker, replay_scenario
+from repro.sim.resilience import ResilientExecutor, RetryPolicy, TaskSpec
 from repro.sim.runner import STANDARD_DESIGNS, ExperimentRunner
 from repro.sim.scenario import (
     CapturedScenario,
@@ -26,11 +28,17 @@ __all__ = [
     "CapturedScenario",
     "EliminationRow",
     "ExperimentRunner",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
     "PerformanceRow",
     "ReplayWalker",
+    "ResilientExecutor",
     "ResultStore",
+    "RetryPolicy",
     "STANDARD_DESIGNS",
     "ScenarioEngine",
+    "TaskSpec",
     "SimulationConfig",
     "SimulationResult",
     "SystemSimulator",

@@ -1,0 +1,343 @@
+"""Crash-tolerant task execution for the experiment runner.
+
+One crashed worker used to abort an entire ``ExperimentRunner`` batch:
+``pool.map`` over captures and bare ``future.result()`` over replays
+propagated the first exception and discarded every completed capture
+and replay with it. :class:`ResilientExecutor` replaces both fan-outs
+with per-task submission under an explicit :class:`RetryPolicy`:
+
+* **Attribution** -- every :class:`TaskSpec` carries the offending
+  config's benchmark/seed/design context, so a permanent failure names
+  the scenario, not just a pickled traceback.
+* **Bounded retries** -- failed tasks are resubmitted up to
+  ``max_retries`` times with deterministic exponential backoff
+  (``backoff_s * backoff_factor ** attempt``; no jitter -- reruns must
+  schedule identically).
+* **Per-task deadlines** -- ``timeout_s`` bounds each
+  ``future.result`` wait; a timed-out task is retried and the stale
+  future ignored (both attempts compute identical results, so the
+  duplicate is harmless).
+* **Pool recovery** -- a ``BrokenProcessPool`` (worker killed by the
+  OS, the oom-killer, or a ``crash`` fault) rebuilds the pool once;
+  a second break degrades gracefully to serial in-process execution
+  with a logged downgrade, where injected ``crash`` faults demote to
+  ordinary exceptions (see ``repro.sim.faults``).
+* **Incremental completion** -- :meth:`ResilientExecutor.run` is a
+  generator yielding each task's result as soon as it resolves, so the
+  runner checkpoints completed results into the store *before* a later
+  failure can raise. Exhausted tasks raise
+  :class:`~repro.common.errors.TaskExecutionError` only after every
+  survivor has been yielded.
+
+The executor is deliberately ignorant of what tasks compute: fault
+injection lives in the task bodies (``repro.sim.runner``) and in the
+store, keyed by the deterministic (site, index, attempt) triple the
+executor maintains here.
+
+``time.sleep`` (backoff) is the only wall-clock interaction; nothing
+here feeds a ``SimulationResult``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.common.errors import TaskExecutionError
+from repro.common.statistics import CounterSet
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
+
+_LOG = get_logger(__name__)
+
+#: Counter names the executor maintains (bound to the metrics registry
+#: as ``colt_resilience_*`` by the runner when observability is on).
+RESILIENCE_COUNTERS = (
+    "tasks",
+    "retries",
+    "timeouts",
+    "task_errors",
+    "pool_rebuilds",
+    "serial_downgrades",
+    "failures",
+)
+
+#: Environment knobs for the default policy.
+RETRIES_ENV = "COLT_RETRIES"
+TIMEOUT_ENV = "COLT_TASK_TIMEOUT"
+BACKOFF_ENV = "COLT_BACKOFF"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry/backoff/deadline knobs for one runner.
+
+    Attributes:
+        max_retries: resubmissions allowed per task (attempts are
+            ``0..max_retries``; 0 disables retrying).
+        backoff_s: base sleep before the first retry.
+        backoff_factor: multiplier per subsequent retry (deterministic
+            exponential backoff, no jitter).
+        timeout_s: per-task deadline for pooled execution; ``None``
+            waits forever. Serial execution cannot preempt a running
+            task, so deadlines only apply when a pool is in play.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: Optional[float] = None
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retrying a task that failed ``attempt``."""
+        return self.backoff_s * self.backoff_factor**attempt
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy from ``COLT_RETRIES``/``COLT_TASK_TIMEOUT``/``COLT_BACKOFF``."""
+        policy = cls()
+        retries = os.environ.get(RETRIES_ENV, "").strip()
+        if retries:
+            policy = replace(policy, max_retries=max(0, int(retries)))
+        timeout = os.environ.get(TIMEOUT_ENV, "").strip()
+        if timeout:
+            seconds = float(timeout)
+            policy = replace(
+                policy, timeout_s=seconds if seconds > 0 else None
+            )
+        backoff = os.environ.get(BACKOFF_ENV, "").strip()
+        if backoff:
+            policy = replace(policy, backoff_s=max(0.0, float(backoff)))
+        return policy
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a picklable function plus attribution.
+
+    ``fn`` is called as ``fn(*args, attempt)`` -- the attempt number is
+    appended so task bodies can key fault injection on it. ``site`` and
+    ``index`` identify the task deterministically across reruns (and
+    across retries: the index never changes, only the attempt).
+    """
+
+    fn: Callable
+    args: Tuple
+    site: str
+    index: int
+    context: Dict[str, object]
+    attempt: int = 0
+
+    def describe(self) -> str:
+        detail = ", ".join(f"{k}={v}" for k, v in self.context.items())
+        return f"{self.site} task {self.index} ({detail})"
+
+
+class ResilientExecutor:
+    """Retrying, pool-recovering, incrementally-yielding task executor.
+
+    One executor spans one ``run_batch``: the capture wave and the
+    replay wave share its (lazily created) process pool, mirroring the
+    single pool the pre-resilience runner used. Use as a context
+    manager so the pool is torn down even when a wave raises.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: Optional[RetryPolicy] = None,
+        counters: Optional[CounterSet] = None,
+        initializer: Optional[Callable] = None,
+    ) -> None:
+        self._jobs = max(1, int(jobs))
+        self._policy = policy if policy is not None else RetryPolicy()
+        self.counters = (
+            counters if counters is not None else CounterSet(RESILIENCE_COUNTERS)
+        )
+        self._initializer = initializer
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._rebuilt = False
+        self._serial = self._jobs <= 1
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle.
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ResilientExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._shutdown_pool()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._jobs, initializer=self._initializer
+            )
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _recover_pool(self) -> None:
+        """After a break: rebuild once, then downgrade to serial."""
+        self._shutdown_pool()
+        if not self._rebuilt:
+            self._rebuilt = True
+            self.counters.increment("pool_rebuilds")
+            with span("resilience.pool_rebuild", cat="resilience"):
+                _LOG.warning(
+                    "worker pool broke; rebuilding it once before "
+                    "degrading to serial execution"
+                )
+        else:
+            self._serial = True
+            self.counters.increment("serial_downgrades")
+            with span("resilience.serial_downgrade", cat="resilience"):
+                _LOG.warning(
+                    "worker pool broke again; downgrading to serial "
+                    "in-process execution for the rest of the batch"
+                )
+
+    # ------------------------------------------------------------------
+    # Retry bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _next_attempt(
+        self,
+        task: TaskSpec,
+        reason: object,
+        failures: List[TaskExecutionError],
+    ) -> Optional[TaskSpec]:
+        """Back off and return the retry, or record a permanent failure."""
+        if task.attempt >= self._policy.max_retries:
+            self.counters.increment("failures")
+            failures.append(
+                TaskExecutionError(
+                    f"{task.describe()} failed permanently after "
+                    f"{task.attempt + 1} attempt(s): {reason}",
+                    context=task.context,
+                )
+            )
+            return None
+        self.counters.increment("retries")
+        delay = self._policy.backoff(task.attempt)
+        _LOG.warning(
+            "retrying %s (attempt %d/%d, backoff %.3fs): %s",
+            task.describe(),
+            task.attempt + 1,
+            self._policy.max_retries,
+            delay,
+            reason,
+        )
+        with span(
+            "resilience.retry",
+            cat="resilience",
+            site=task.site,
+            index=task.index,
+            attempt=task.attempt + 1,
+        ):
+            if delay > 0:
+                time.sleep(delay)
+        return replace(task, attempt=task.attempt + 1)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(
+        self, tasks: Sequence[TaskSpec]
+    ) -> Iterator[Tuple[TaskSpec, object]]:
+        """Yield ``(task, result)`` as each task resolves.
+
+        Successful results are yielded immediately (in submission order
+        within a round), so the caller can checkpoint them before any
+        permanent failure raises. After the final round, the first
+        :class:`TaskExecutionError` raises; additional permanent
+        failures are logged.
+        """
+        failures: List[TaskExecutionError] = []
+        pending = list(tasks)
+        while pending:
+            batch, pending = pending, []
+            if self._serial:
+                for task in batch:
+                    yield from self._run_serial(task, failures)
+                continue
+            pool = self._ensure_pool()
+            submitted = []
+            for task in batch:
+                self.counters.increment("tasks")
+                submitted.append(
+                    (task, pool.submit(task.fn, *task.args, task.attempt))
+                )
+            pool_broken = False
+            for task, future in submitted:
+                try:
+                    result = future.result(timeout=self._policy.timeout_s)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    retry = self._next_attempt(
+                        task, "worker process died", failures
+                    )
+                    if retry is not None:
+                        pending.append(retry)
+                except FutureTimeoutError:
+                    self.counters.increment("timeouts")
+                    retry = self._next_attempt(
+                        task,
+                        f"deadline of {self._policy.timeout_s}s exceeded",
+                        failures,
+                    )
+                    if retry is not None:
+                        pending.append(retry)
+                except Exception as exc:
+                    self.counters.increment("task_errors")
+                    retry = self._next_attempt(task, exc, failures)
+                    if retry is not None:
+                        pending.append(retry)
+                else:
+                    yield task, result
+            if pool_broken:
+                self._recover_pool()
+        if failures:
+            for extra in failures[1:]:
+                _LOG.error("additional permanent failure: %s", extra)
+            raise failures[0]
+
+    def _run_serial(
+        self, task: TaskSpec, failures: List[TaskExecutionError]
+    ) -> Iterator[Tuple[TaskSpec, object]]:
+        """In-process execution (jobs=1, or post-downgrade)."""
+        current = task
+        while True:
+            self.counters.increment("tasks")
+            try:
+                result = current.fn(*current.args, current.attempt)
+            except Exception as exc:
+                self.counters.increment("task_errors")
+                retry = self._next_attempt(current, exc, failures)
+                if retry is None:
+                    return
+                current = retry
+                continue
+            yield current, result
+            return

@@ -11,7 +11,19 @@ split of ``repro.sim.scenario`` / ``repro.sim.replay``:
 2. **Replay** -- stream each captured log through every requested
    design's MMU; pure TLB work, no kernel or trace generation.
 
-Both phases fan out across a ``ProcessPoolExecutor`` when ``jobs > 1``.
+Both phases fan out across a ``ProcessPoolExecutor`` when ``jobs > 1``,
+through the crash-tolerant :class:`repro.sim.resilience.ResilientExecutor`:
+per-task submission with config-attributed failures, bounded retries
+with deterministic backoff, per-task deadlines, broken-pool recovery
+(rebuild once, then degrade to serial), and incremental checkpointing
+-- every completed result is ``_finish``-ed (and stored) before a later
+failure can abort the batch, so a rerun resumes from the store instead
+of restarting. A seeded :class:`repro.sim.faults.FaultPlan`
+(``COLT_FAULTS``) can inject worker crashes, task exceptions, delays
+and store corruption to exercise exactly that machinery; any plan that
+does not exhaust the retry budget yields bit-identical results to a
+fault-free run.
+
 Results are memoised in-process per config (so e.g. Figure 21 reuses
 the runs Figure 18 already performed) and, when a
 :class:`repro.sim.store.ResultStore` is attached, on disk across
@@ -24,13 +36,26 @@ baseline of the speedup smoke test, and available for A/B debugging.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import TaskExecutionError
+from repro.common.statistics import CounterSet
 from repro.core.mmu import CoLTDesign, MMUConfig
-from repro.obs.hooks import ObsPayload, drain_worker_obs, reset_worker_obs
-from repro.obs.registry import get_registry
-from repro.obs.trace import TraceEvent, current_tracer, span
+from repro.obs.hooks import (
+    ObsPayload,
+    drain_worker_obs,
+    in_pool_worker,
+    reset_worker_obs,
+)
+from repro.obs.registry import bind_counterset, get_registry
+from repro.obs.trace import TraceEvent, current_tracer, obs_active, span
+from repro.sim.faults import FaultPlan
+from repro.sim.resilience import (
+    RESILIENCE_COUNTERS,
+    ResilientExecutor,
+    RetryPolicy,
+    TaskSpec,
+)
 from repro.sim.metrics import (
     EliminationRow,
     PerformanceRow,
@@ -51,23 +76,65 @@ STANDARD_DESIGNS: Tuple[CoLTDesign, ...] = (
 )
 
 
+def _drain_if_pooled() -> Optional[ObsPayload]:
+    """Drain obs state only in pool workers.
+
+    Serial (and downgraded-to-serial) execution runs task bodies in the
+    parent, whose tracer/registry must not be reset mid-run -- the
+    parent reports its own state directly.
+    """
+    return drain_worker_obs() if in_pool_worker() else None
+
+
 def _capture_task(
     config: SimulationConfig,
+    faults: Optional[FaultPlan],
+    index: int,
+    attempt: int = 0,
 ) -> Tuple[CapturedScenario, Optional[ObsPayload]]:
     """Worker entry point: one scenario capture (module-level, picklable).
 
     The second element carries the worker's drained observability state
-    (``None`` in the common untraced case) back to the parent.
+    (``None`` in the common untraced case) back to the parent. Faults
+    fire before the capture, keyed on this task's deterministic
+    (site, index, attempt) triple.
     """
-    return capture_scenario(config), drain_worker_obs()
+    if faults is not None:
+        faults.fire("capture", index, attempt)
+    return capture_scenario(config), _drain_if_pooled()
 
 
 def _replay_task(
-    scenario: CapturedScenario, configs: Sequence[SimulationConfig]
+    scenario: CapturedScenario,
+    configs: Sequence[SimulationConfig],
+    faults: Optional[FaultPlan],
+    index: int,
+    attempt: int = 0,
 ) -> Tuple[List[SimulationResult], Optional[ObsPayload]]:
     """Worker entry point: replay one scenario under several configs."""
+    if faults is not None:
+        faults.fire("replay", index, attempt)
     results = [replay_scenario(scenario, config) for config in configs]
-    return results, drain_worker_obs()
+    return results, _drain_if_pooled()
+
+
+def _capture_context(config: SimulationConfig) -> Dict[str, object]:
+    return {
+        "stage": "capture",
+        "benchmark": config.benchmark,
+        "seed": config.seed,
+        "accesses": config.accesses,
+    }
+
+
+def _replay_context(chunk: Sequence[SimulationConfig]) -> Dict[str, object]:
+    first = chunk[0]
+    return {
+        "stage": "replay",
+        "benchmark": first.benchmark,
+        "seed": first.seed,
+        "designs": ",".join(config.design.value for config in chunk),
+    }
 
 
 def _chunk(items: Sequence, pieces: int) -> List[List]:
@@ -92,6 +159,11 @@ class ExperimentRunner:
             updated after, every simulation.
         monolithic: bypass capture/replay and run every config through
             the legacy single-phase :func:`simulate`.
+        policy: retry/backoff/deadline policy for the resilient
+            executor; defaults to :meth:`RetryPolicy.from_env`
+            (``COLT_RETRIES`` / ``COLT_TASK_TIMEOUT`` / ``COLT_BACKOFF``).
+        faults: deterministic fault-injection plan; defaults to the
+            plan named by ``COLT_FAULTS`` (``None`` when unset).
     """
 
     def __init__(
@@ -99,10 +171,19 @@ class ExperimentRunner:
         jobs: Optional[int] = None,
         store: Optional[ResultStore] = None,
         monolithic: bool = False,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self._jobs = max(1, int(jobs)) if jobs else 1
         self._store = store
         self._monolithic = monolithic
+        self._policy = policy if policy is not None else RetryPolicy.from_env()
+        self._faults = faults if faults is not None else FaultPlan.from_env()
+        self._resilience = CounterSet(RESILIENCE_COUNTERS)
+        if obs_active():
+            bind_counterset(
+                get_registry(), "colt_resilience", self._resilience
+            )
         self._cache: Dict[SimulationConfig, SimulationResult] = {}
         self._scenarios: Dict[SimulationConfig, CapturedScenario] = {}
         # Observability state shipped back from pool workers.
@@ -124,6 +205,26 @@ class ExperimentRunner:
         counts = self._store.counters.as_dict()
         lookups = counts["hits"] + counts["misses"]
         counts["hit_ratio"] = counts["hits"] / lookups if lookups else 0.0
+        return counts
+
+    @property
+    def resilience_counters(self) -> CounterSet:
+        """The retry/timeout/rebuild/downgrade tallies of this runner."""
+        return self._resilience
+
+    def resilience_summary(self) -> Optional[Dict[str, int]]:
+        """Counter dict when the resilience layer absorbed anything."""
+        counts = self._resilience.as_dict()
+        interesting = (
+            "retries", "timeouts", "task_errors", "pool_rebuilds",
+            "serial_downgrades", "failures",
+        )
+        if not any(counts.get(name, 0) for name in interesting):
+            return None
+        if self._faults is not None:
+            counts["faults_injected"] = sum(
+                self._faults.counters.as_dict().values()
+            )
         return counts
 
     def trace_events(self) -> List[TraceEvent]:
@@ -208,44 +309,74 @@ class ExperimentRunner:
             groups.setdefault(scenario_config(config), []).append(config)
 
         to_capture = [key for key in groups if key not in self._scenarios]
-        replay_chunks: List[Tuple[SimulationConfig, List[SimulationConfig]]]
-        replay_chunks = []
+        all_chunks: List[Tuple[SimulationConfig, List[SimulationConfig]]]
+        all_chunks = []
         per_group = max(1, self._jobs // max(1, len(groups)))
         for key, group in groups.items():
             for chunk in _chunk(group, per_group):
-                replay_chunks.append((key, chunk))
+                all_chunks.append((key, chunk))
 
-        if self._jobs > 1 and len(to_capture) + len(replay_chunks) > 1:
-            # The initializer drops the tracer/registry state a forked
-            # worker inherits from this process -- without it, the
-            # parent's buffered events would be reported twice.
-            with ProcessPoolExecutor(
-                max_workers=self._jobs, initializer=reset_worker_obs
-            ) as pool:
-                if to_capture:
-                    for key, (scenario, payload) in zip(
-                        to_capture, pool.map(_capture_task, to_capture)
-                    ):
-                        self._scenarios[key] = scenario
-                        self._absorb(payload)
-                futures = [
-                    (chunk, pool.submit(
-                        _replay_task, self._scenarios[key], chunk
-                    ))
-                    for key, chunk in replay_chunks
-                ]
-                for chunk, future in futures:
-                    results, payload = future.result()
+        capture_tasks = [
+            TaskSpec(
+                fn=_capture_task,
+                args=(key, self._faults, index),
+                site="capture",
+                index=index,
+                context=_capture_context(key),
+            )
+            for index, key in enumerate(to_capture)
+        ]
+        # Run inline when there is no parallelism to exploit -- matches
+        # the pre-resilience behaviour of not paying for a pool.
+        effective_jobs = (
+            self._jobs
+            if len(capture_tasks) + len(all_chunks) > 1
+            else 1
+        )
+        # The initializer drops the tracer/registry state a forked
+        # worker inherits from this process -- without it, the parent's
+        # buffered events would be reported twice.
+        with ResilientExecutor(
+            jobs=effective_jobs,
+            policy=self._policy,
+            counters=self._resilience,
+            initializer=reset_worker_obs,
+        ) as executor:
+            failure: Optional[TaskExecutionError] = None
+            try:
+                for task, (scenario, payload) in executor.run(capture_tasks):
+                    self._scenarios[to_capture[task.index]] = scenario
                     self._absorb(payload)
+            except TaskExecutionError as exc:
+                # Keep going: scenarios that did capture can still
+                # replay (and checkpoint) before the batch raises.
+                failure = exc
+            replay_chunks = [
+                (key, chunk)
+                for key, chunk in all_chunks
+                if key in self._scenarios
+            ]
+            replay_tasks = [
+                TaskSpec(
+                    fn=_replay_task,
+                    args=(self._scenarios[key], chunk, self._faults, index),
+                    site="replay",
+                    index=index,
+                    context=_replay_context(chunk),
+                )
+                for index, (key, chunk) in enumerate(replay_chunks)
+            ]
+            try:
+                for task, (results, payload) in executor.run(replay_tasks):
+                    self._absorb(payload)
+                    _, chunk = replay_chunks[task.index]
                     for config, result in zip(chunk, results):
                         self._finish(config, result)
-        else:
-            for key in to_capture:
-                self._scenarios[key] = capture_scenario(key)
-            for key, chunk in replay_chunks:
-                scenario = self._scenarios[key]
-                for config in chunk:
-                    self._finish(config, replay_scenario(scenario, config))
+            except TaskExecutionError as exc:
+                if failure is None:
+                    failure = exc
+            if failure is not None:
+                raise failure
 
     # ------------------------------------------------------------------
     # Figure-level helpers.

@@ -21,6 +21,19 @@ Writes are atomic (temp file + ``os.replace`` in the same directory),
 so concurrent runner processes may share one store: both compute the
 same bits and whichever finishes last wins with an identical payload.
 
+Entries are *checksum-framed*: a magic prefix, the payload length, and
+a SHA-256 over the pickle bytes precede the payload, so a torn write or
+a flipped bit is detected before ``pickle`` ever parses hostile bytes.
+Entries that fail the frame check -- or whose unpickling raises any of
+the broad net of exceptions a corrupt pickle can produce -- are
+*quarantined* under ``.colt-cache/quarantine/`` (never silently
+unlinked) and recomputed; per-exception-class counters record what was
+seen. Pre-framing entries (raw pickle, no magic) still load.
+
+A store whose directory cannot be created (read-only filesystem,
+path shadowed by a file) degrades to store-less operation with a
+warning instead of failing the run: loads miss, saves are dropped.
+
 The store location defaults to ``.colt-cache/`` in the working
 directory; override with the ``COLT_RESULT_CACHE`` environment
 variable, disable with ``--no-cache`` (CLI) or ``store=None``
@@ -44,6 +57,7 @@ from repro.common.statistics import CounterSet
 from repro.obs.logging import get_logger
 from repro.obs.registry import bind_counterset, get_registry
 from repro.obs.trace import current_tracer, obs_active
+from repro.sim.faults import FaultPlan, corrupt_bytes
 from repro.sim.system import SimulationConfig, SimulationResult
 
 _LOG = get_logger(__name__)
@@ -54,9 +68,73 @@ STORE_ENV = "COLT_RESULT_CACHE"
 #: Default store directory (relative to the working directory).
 DEFAULT_STORE_DIR = ".colt-cache"
 
+#: Subdirectory undecodable entries are moved into (never re-read).
+QUARANTINE_DIR = "quarantine"
+
 #: Bump on any behavioural change not captured by config or constants
 #: (e.g. capture-record layout, walk-latency accounting).
 STORE_VERSION = 1
+
+#: Magic prefix of a checksum-framed entry (version byte included).
+STORE_MAGIC = b"COLTRS1\n"
+
+#: Frame header: magic + 8-byte big-endian payload length + SHA-256.
+_HEADER_LEN = len(STORE_MAGIC) + 8 + 32
+
+#: Everything a torn frame or hostile pickle payload is known to raise.
+#: ``UnpicklingError``/``EOFError``/``AttributeError`` are the classic
+#: truncation/stale-class cases; a malformed stream can also raise
+#: ``ValueError``/``IndexError``/``TypeError``/``KeyError``, and a
+#: pickle referencing a module that no longer exists raises
+#: ``ImportError``. (``ValueError`` also covers this module's own
+#: frame-check failures.)
+_CORRUPT_EXCEPTIONS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ValueError,
+    IndexError,
+    ImportError,
+    TypeError,
+    KeyError,
+)
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap pickle bytes in the length + SHA-256 integrity frame."""
+    return (
+        STORE_MAGIC
+        + len(payload).to_bytes(8, "big")
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def unframe_payload(blob: bytes) -> bytes:
+    """Verify and strip the integrity frame; raises ``ValueError``.
+
+    Blobs without the magic prefix are returned unchanged (legacy
+    pre-framing entries -- their only guard is the unpickler's own
+    exception net).
+    """
+    if not blob.startswith(STORE_MAGIC):
+        return blob
+    if len(blob) < _HEADER_LEN:
+        raise ValueError(
+            f"torn store frame: {len(blob)} bytes, header needs "
+            f"{_HEADER_LEN}"
+        )
+    magic_len = len(STORE_MAGIC)
+    length = int.from_bytes(blob[magic_len:magic_len + 8], "big")
+    digest = blob[magic_len + 8:_HEADER_LEN]
+    payload = blob[_HEADER_LEN:]
+    if len(payload) != length:
+        raise ValueError(
+            f"torn store frame: {len(payload)} of {length} payload bytes"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise ValueError("store frame checksum mismatch")
+    return payload
 
 
 def _encode(value):
@@ -98,15 +176,42 @@ def config_key(config: SimulationConfig) -> str:
 
 
 class ResultStore:
-    """Directory of pickled :class:`SimulationResult`s, content-addressed."""
+    """Directory of pickled :class:`SimulationResult`s, content-addressed.
 
-    def __init__(self, root) -> None:
+    Args:
+        root: store directory (created on demand; an uncreatable root
+            degrades the store to a warned no-op instead of raising).
+        faults: optional :class:`FaultPlan` whose ``store.write`` specs
+            corrupt entries as they are written (chaos testing);
+            defaults to the plan named by ``COLT_FAULTS``.
+    """
+
+    def __init__(self, root, faults: Optional[FaultPlan] = None) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.counters = CounterSet(["hits", "misses", "evictions", "saves"])
+        self.counters = CounterSet(
+            ["hits", "misses", "evictions", "saves", "quarantines",
+             "save_errors", "io_errors"]
+        )
+        self._faults = faults if faults is not None else FaultPlan.from_env()
+        self._write_index = 0
+        self._disabled = False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            self._disabled = True
+            _LOG.warning(
+                "result store disabled: cannot create %s (%s); "
+                "continuing without a cache",
+                self.root, exc,
+            )
         self._tracer = current_tracer()
         if obs_active():
             bind_counterset(get_registry(), "colt_store", self.counters)
+
+    @property
+    def disabled(self) -> bool:
+        """True when the store degraded to store-less operation."""
+        return self._disabled
 
     @classmethod
     def from_env(cls, default: Optional[str] = DEFAULT_STORE_DIR
@@ -114,16 +219,20 @@ class ResultStore:
         """Store at ``$COLT_RESULT_CACHE``, else ``default``.
 
         ``COLT_RESULT_CACHE=`` (empty) or ``0`` disables the store, as
-        does ``default=None`` when the variable is unset.
+        does ``default=None`` when the variable is unset. A store root
+        that cannot be created also yields ``None`` (store-less
+        operation) rather than failing the experiment run.
         """
         location = os.environ.get(STORE_ENV)
         if location is not None:
             if location.strip() in ("", "0", "off", "none"):
                 return None
-            return cls(location)
-        if default is None:
+            store = cls(location)
+        elif default is None:
             return None
-        return cls(default)
+        else:
+            store = cls(default)
+        return None if store.disabled else store
 
     def _path(self, config: SimulationConfig) -> Path:
         return self.root / f"{config_key(config)}.pkl"
@@ -138,21 +247,30 @@ class ResultStore:
             return result
 
     def _load(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        if self._disabled:
+            return None
         path = self._path(config)
         try:
-            with path.open("rb") as handle:
-                result = pickle.load(handle)
+            blob = path.read_bytes()
         except FileNotFoundError:
             self.counters.increment("misses")
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError):
-            # A torn or stale entry: drop it and recompute.
-            _LOG.warning("dropping unreadable store entry %s", path.name)
-            path.unlink(missing_ok=True)
-            self.counters.increment("evictions")
+        except OSError as exc:
+            _LOG.warning("store read failed for %s: %s", path.name, exc)
+            self.counters.increment("io_errors")
+            self.counters.increment("misses")
+            return None
+        try:
+            result = pickle.loads(unframe_payload(blob))
+        except _CORRUPT_EXCEPTIONS as exc:
+            # A torn, corrupted or hostile entry: quarantine for
+            # post-mortem (never silently unlink) and recompute.
+            self._quarantine(path, exc)
             self.counters.increment("misses")
             return None
         if not isinstance(result, SimulationResult) or result.config != config:
+            # Decodable but stale/mismatched (e.g. a key collision or
+            # hand-edited entry): evict outright, nothing to autopsy.
             _LOG.warning("dropping mismatched store entry %s", path.name)
             path.unlink(missing_ok=True)
             self.counters.increment("evictions")
@@ -160,6 +278,26 @@ class ResultStore:
             return None
         self.counters.increment("hits")
         return result
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        """Move an undecodable entry aside, tagged by exception class."""
+        self.counters.increment("quarantines")
+        self.counters.increment(f"corrupt_{type(exc).__name__.lower()}")
+        quarantine = self.root / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            _LOG.warning(
+                "quarantined undecodable store entry %s -> %s/ (%s: %s)",
+                path.name, QUARANTINE_DIR, type(exc).__name__, exc,
+            )
+        except OSError as move_exc:
+            _LOG.warning(
+                "dropping undecodable store entry %s "
+                "(quarantine failed: %s; original error %s: %s)",
+                path.name, move_exc, type(exc).__name__, exc,
+            )
+            path.unlink(missing_ok=True)
 
     def save(self, config: SimulationConfig, result: SimulationResult) -> None:
         """Persist ``result`` atomically (safe under concurrent writers)."""
@@ -170,20 +308,49 @@ class ResultStore:
             self._save(config, result)
 
     def _save(self, config: SimulationConfig, result: SimulationResult) -> None:
+        if self._disabled:
+            return
+        frame = frame_payload(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        index = self._write_index
+        self._write_index += 1
+        if self._faults is not None:
+            kind = self._faults.corruption(index)
+            if kind is not None:
+                frame = corrupt_bytes(frame, kind)
         path = self._path(config)
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with temp.open("wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(temp, path)
+        try:
+            temp.write_bytes(frame)
+            os.replace(temp, path)
+        except OSError as exc:
+            # Disk full / permissions lost mid-run: degrade to a warned
+            # dropped save, the in-process cache still has the result.
+            _LOG.warning("store save failed for %s: %s", path.name, exc)
+            self.counters.increment("save_errors")
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+            return
         self.counters.increment("saves")
 
     def clear(self) -> int:
-        """Delete every stored entry; returns the number removed."""
+        """Delete every stored entry (quarantined included); count removed."""
+        if self._disabled:
+            return 0
         removed = 0
-        for path in self.root.glob("*.pkl"):
-            path.unlink(missing_ok=True)
-            removed += 1
+        quarantine = self.root / QUARANTINE_DIR
+        for directory in (self.root, quarantine):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def __len__(self) -> int:
+        if self._disabled:
+            return 0
         return sum(1 for _ in self.root.glob("*.pkl"))

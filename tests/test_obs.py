@@ -377,9 +377,12 @@ class TestStoreObservability:
         store = ResultStore(tmp_path / "cache")
         cold = ExperimentRunner(jobs=1, store=store)
         cold.run_batch([config])
-        assert store.counters.as_dict() == {
-            "hits": 0, "misses": 1, "evictions": 0, "saves": 1,
-        }
+        counts = store.counters.as_dict()
+        assert counts["hits"] == 0
+        assert counts["misses"] == 1
+        assert counts["evictions"] == 0
+        assert counts["saves"] == 1
+        assert counts["quarantines"] == 0
         warm = ExperimentRunner(jobs=1, store=store)
         warm.run_batch([config])
         counts = store.counters.as_dict()
@@ -387,7 +390,7 @@ class TestStoreObservability:
         summary = warm.store_summary()
         assert summary["hit_ratio"] == pytest.approx(0.5)
 
-    def test_torn_entry_counts_as_eviction(self, tmp_path, obs_off):
+    def test_torn_entry_is_quarantined(self, tmp_path, obs_off):
         config = _small_config()
         store = ResultStore(tmp_path / "cache")
         runner = ExperimentRunner(jobs=1, store=store)
@@ -396,8 +399,9 @@ class TestStoreObservability:
         entry.write_bytes(b"torn")
         assert store.load(config) is None
         counts = store.counters.as_dict()
-        assert counts["evictions"] == 1
+        assert counts["quarantines"] == 1
         assert not entry.exists()
+        assert (store.root / "quarantine" / entry.name).exists()
 
     def test_store_summary_none_without_store(self, obs_off):
         assert ExperimentRunner(jobs=1).store_summary() is None

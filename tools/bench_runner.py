@@ -22,7 +22,11 @@ hit/miss/eviction/save counters plus the warm-over-cold speedup in the
 artifact's ``store`` section (``--skip-store`` omits it).
 ``--max-trace-overhead X`` adds a ``COLT_TRACE=1`` run of the parallel
 pipeline and fails if traced wall-clock exceeds ``X`` times the
-untraced parallel time.
+untraced parallel time. ``--max-resilience-overhead X`` does the same
+for the resilience layer: it re-times the parallel pipeline with a
+retry policy, per-task deadline and a never-matching fault plan
+attached, and fails if the fault-free machinery costs more than ``X``
+times the plain parallel run.
 
 Benchmarking needs ``time.perf_counter``, so this file sits on the
 determinism lint's ``WALL_CLOCK_ALLOW`` list; the timings go to the
@@ -44,6 +48,8 @@ sys.path.insert(
 )
 
 from repro.obs.trace import TRACE_ENV, reset_tracing  # noqa: E402
+from repro.sim.faults import FaultPlan  # noqa: E402
+from repro.sim.resilience import RetryPolicy  # noqa: E402
 from repro.sim.runner import ExperimentRunner  # noqa: E402
 from repro.sim.scenario import scenario_config  # noqa: E402
 from repro.sim.store import ResultStore  # noqa: E402
@@ -111,6 +117,25 @@ def _traced_phase(jobs: int) -> dict:
     return {"total_s": round(traced_s, 3), "events": events}
 
 
+def _resilience_phase(jobs: int) -> dict:
+    """Time the pipeline with the full resilience machinery armed.
+
+    The fault plan targets an index no QUICK batch reaches, so nothing
+    fires -- this measures the overhead of per-task submission, deadline
+    waits and fault-plan checks on the happy path.
+    """
+    runner = ExperimentRunner(
+        jobs=jobs,
+        policy=RetryPolicy(max_retries=3, backoff_s=0.05, timeout_s=600.0),
+        faults=FaultPlan.parse("raise@replay:999983"),
+    )
+    started = time.perf_counter()
+    _time_pipeline(runner)
+    total = time.perf_counter() - started
+    counts = runner.resilience_counters.as_dict()
+    return {"total_s": round(total, 3), "tasks": counts["tasks"]}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Time serial-monolithic vs parallel capture+replay "
@@ -139,6 +164,12 @@ def main(argv=None) -> int:
         help="also run the pipeline with COLT_TRACE=1 and fail if "
              "traced wall-clock exceeds X times the untraced parallel "
              "time",
+    )
+    parser.add_argument(
+        "--max-resilience-overhead", type=float, default=None, metavar="X",
+        help="also run the pipeline with retries/deadlines/a dormant "
+             "fault plan armed and fail if it exceeds X times the "
+             "plain parallel time",
     )
     args = parser.parse_args(argv)
 
@@ -192,6 +223,20 @@ def main(argv=None) -> int:
         report["traced"]["overhead_ratio"] = round(trace_overhead, 3)
         report["traced"]["max_overhead_ratio"] = args.max_trace_overhead
 
+    resilience_overhead = None
+    if args.max_resilience_overhead is not None:
+        report["resilience"] = _resilience_phase(args.jobs)
+        resilience_overhead = (
+            report["resilience"]["total_s"] / par_total
+            if par_total > 0 else 0.0
+        )
+        report["resilience"]["overhead_ratio"] = round(
+            resilience_overhead, 3
+        )
+        report["resilience"]["max_overhead_ratio"] = (
+            args.max_resilience_overhead
+        )
+
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -213,6 +258,10 @@ def main(argv=None) -> int:
         print(f"traced overhead   : {trace_overhead:8.2f}x "
               f"({report['traced']['events']} events, threshold "
               f"{args.max_trace_overhead}x)")
+    if resilience_overhead is not None:
+        print(f"resilience ovrhd  : {resilience_overhead:8.2f}x "
+              f"({report['resilience']['tasks']} tasks, threshold "
+              f"{args.max_resilience_overhead}x)")
     print(f"wrote {args.output}")
 
     failed = False
@@ -226,6 +275,13 @@ def main(argv=None) -> int:
     ):
         print(f"FAIL: traced overhead {trace_overhead:.2f}x > allowed "
               f"{args.max_trace_overhead}x", file=sys.stderr)
+        failed = True
+    if (
+        resilience_overhead is not None
+        and resilience_overhead > args.max_resilience_overhead
+    ):
+        print(f"FAIL: resilience overhead {resilience_overhead:.2f}x > "
+              f"allowed {args.max_resilience_overhead}x", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

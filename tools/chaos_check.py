@@ -1,0 +1,196 @@
+"""Chaos invariant check: faulted runs must be bit-identical to clean.
+
+Runs the fig18 QUICK pipeline three times and compares results:
+
+1. **clean** -- no faults, cold temporary store A: the baseline table
+   and result set.
+2. **chaos** -- cold temporary store B with a ``COLT_FAULTS`` plan that
+   crashes a capture worker, raises in a replay task, and tears/flips
+   two store writes. The retry/recovery machinery must absorb all of it
+   and produce the *same* table and the same per-config results.
+3. **resume** -- a fresh fault-free runner over store B, whose on-disk
+   entries include the two corrupted writes. The hardened load path
+   must quarantine exactly those entries (never a silent unlink, never
+   a crash), recompute them, and again match the clean results.
+
+Exit status is non-zero on any divergence; the chaos CI job runs
+``python tools/chaos_check.py --jobs 2``. Because injected faults only
+kill/delay/corrupt -- they never feed a number into a simulation --
+any mismatch here is a real determinism or recovery bug.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.sim.faults import FaultPlan  # noqa: E402
+from repro.sim.resilience import RetryPolicy  # noqa: E402
+from repro.sim.runner import ExperimentRunner  # noqa: E402
+from repro.sim.store import QUARANTINE_DIR, ResultStore  # noqa: E402
+from repro.experiments.registry import get_experiment  # noqa: E402
+from repro.experiments.scale import QUICK  # noqa: E402
+
+#: One worker crash, one task exception, one torn and one bit-flipped
+#: store write -- every fault kind the plan grammar knows.
+DEFAULT_PLAN = (
+    "crash@capture:0;raise@replay:1;torn@store.write:0;corrupt@store.write:2"
+)
+
+#: Store-write indices DEFAULT_PLAN corrupts (drives the expected
+#: quarantine count of the resume phase).
+CORRUPTED_WRITES = 2
+
+FIGURE = "fig18"
+
+
+def _run_pipeline(runner: ExperimentRunner) -> str:
+    """Run the figure under ``runner``; return its formatted table."""
+    return get_experiment(FIGURE).run(QUICK, runner).format_table()
+
+
+def _compare(name: str, clean: ExperimentRunner, other: ExperimentRunner,
+             clean_table: str, other_table: str) -> int:
+    failures = 0
+    if other_table != clean_table:
+        print(f"FAIL: {name} table differs from clean run", file=sys.stderr)
+        failures += 1
+    if other._cache != clean._cache:
+        differing = [
+            config
+            for config, result in clean._cache.items()
+            if other._cache.get(config) != result
+        ]
+        print(
+            f"FAIL: {name} results differ from clean run for "
+            f"{len(differing)} config(s): "
+            + "; ".join(
+                f"{c.benchmark}/{c.design.value}" for c in differing[:4]
+            ),
+            file=sys.stderr,
+        )
+        failures += 1
+    if not failures:
+        print(f"ok: {name} results bit-identical to clean run")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Verify fault-injected runs recover bit-identical "
+                    "results (fig18, QUICK scale)."
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for all three runs (default: 2)",
+    )
+    parser.add_argument(
+        "--faults", default=DEFAULT_PLAN, metavar="PLAN",
+        help=f"fault plan for the chaos run (default: {DEFAULT_PLAN!r})",
+    )
+    args = parser.parse_args(argv)
+
+    policy = RetryPolicy(max_retries=3, backoff_s=0.05, timeout_s=600.0)
+    failures = 0
+
+    with tempfile.TemporaryDirectory(prefix="colt-chaos-") as tmp:
+        clean_dir = os.path.join(tmp, "clean")
+        chaos_dir = os.path.join(tmp, "chaos")
+
+        print(f"clean run (jobs={args.jobs})")
+        clean = ExperimentRunner(
+            jobs=args.jobs, store=ResultStore(clean_dir), policy=policy
+        )
+        clean_table = _run_pipeline(clean)
+
+        plan = FaultPlan.parse(args.faults)
+        print(f"chaos run (faults: {plan.render()})")
+        chaos = ExperimentRunner(
+            jobs=args.jobs,
+            store=ResultStore(chaos_dir, faults=plan),
+            policy=policy,
+            faults=plan,
+        )
+        chaos_table = _run_pipeline(chaos)
+        failures += _compare("chaos", clean, chaos, clean_table, chaos_table)
+        resilience = chaos.resilience_summary()
+        if resilience is None:
+            print("FAIL: chaos run reported no resilience activity "
+                  "(did the plan fire?)", file=sys.stderr)
+            failures += 1
+        else:
+            print("  resilience: " + ", ".join(
+                f"{v} {k}" for k, v in resilience.items() if v))
+
+        print("resume run (fault-free, over the corrupted chaos store)")
+        resume_store = ResultStore(chaos_dir)
+        resume = ExperimentRunner(
+            jobs=args.jobs, store=resume_store, policy=policy
+        )
+        resume_table = _run_pipeline(resume)
+        failures += _compare(
+            "resume", clean, resume, clean_table, resume_table
+        )
+        counts = resume_store.counters.as_dict()
+        if counts["quarantines"] != CORRUPTED_WRITES:
+            print(
+                f"FAIL: expected {CORRUPTED_WRITES} quarantined entries, "
+                f"got {counts['quarantines']:.0f}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"  quarantined {counts['quarantines']:.0f} corrupted "
+                  f"entries, {counts['hits']:.0f} warm hits")
+        quarantined = len(
+            list((resume_store.root / QUARANTINE_DIR).glob("*.pkl"))
+        )
+        if quarantined != CORRUPTED_WRITES:
+            print(
+                f"FAIL: quarantine dir holds {quarantined} entries, "
+                f"expected {CORRUPTED_WRITES}",
+                file=sys.stderr,
+            )
+            failures += 1
+        # Zero leakage: after the resume repaired the store, every live
+        # entry must decode -- a second warm pass sees only hits.
+        verify_store = ResultStore(chaos_dir)
+        for config in clean._cache:
+            if verify_store.load(config) is None:
+                print(
+                    "FAIL: repaired store still missing/corrupt for "
+                    f"{config.benchmark}/{config.design.value}",
+                    file=sys.stderr,
+                )
+                failures += 1
+        verify_counts = verify_store.counters.as_dict()
+        if verify_counts["quarantines"] or verify_counts["misses"]:
+            print(
+                "FAIL: repaired store not fully warm "
+                f"({verify_counts['misses']:.0f} misses, "
+                f"{verify_counts['quarantines']:.0f} quarantines)",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"  repaired store fully warm: {verify_counts['hits']:.0f} "
+                "hits, no residual corruption"
+            )
+
+    if failures:
+        print(f"chaos check FAILED ({failures} divergence(s))",
+              file=sys.stderr)
+        return 1
+    print("chaos check passed: all faulted runs bit-identical to clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
