@@ -60,14 +60,20 @@ RULES = (
 
 #: Files (matched by path suffix) where wall-clock reads are legal:
 #: CLI layers that print elapsed time but never serialize it, plus the
-#: tracer (its timestamps describe the run; they never feed results).
+#: tracer (its timestamps describe the run; they never feed results)
+#: and the watchdog (stall/memory monitoring is inherently about real
+#: time; nothing it measures reaches a SimulationResult).
 WALL_CLOCK_ALLOW = (
     "tools/lint.py",
     "tools/calibrate.py",
     "tools/bench_runner.py",
     "tools/obs_report.py",
+    # Drives kill/resume subprocesses: polls for table files and
+    # signal-delivery windows; nothing feeds into results.
+    "tools/chaos_check.py",
     "repro/experiments/__main__.py",
     "repro/obs/trace.py",
+    "repro/sim/watchdog.py",
 )
 
 #: Library files under ``repro/`` that are CLI front-ends in disguise

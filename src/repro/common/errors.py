@@ -74,3 +74,38 @@ class TaskExecutionError(SimulationError):
 
 class DeterminismError(ReproError):
     """Two same-seed simulations diverged (hidden nondeterminism)."""
+
+
+class CampaignError(ReproError):
+    """A campaign journal is unusable (wrong version, foreign
+    fingerprint, or unresumable state)."""
+
+
+class ShutdownRequested(ReproError):
+    """The first SIGINT/SIGTERM asked for a graceful shutdown.
+
+    Raised at the runner's next safe point (between tasks, or while
+    waiting on a pooled future) after pending work has been cancelled;
+    everything already completed has been yielded -- and therefore
+    checkpointed -- before this propagates. Carries the triggering
+    signal's name for the exit message.
+    """
+
+    def __init__(self, signal_name: str = "SIGINT"):
+        super().__init__(f"graceful shutdown requested by {signal_name}")
+        self.signal_name = signal_name
+
+
+class StallError(SimulationError):
+    """The stall watchdog saw no task complete within its timeout.
+
+    Treated by the executor exactly like a blown per-task deadline:
+    the stuck task is cancelled and requeued through the retry
+    machinery, after the watchdog dumped all-thread stacks for the
+    post-mortem.
+    """
+
+
+class MemoryBudgetError(ReproError):
+    """RSS exceeded ``COLT_MEM_BUDGET`` after every degradation rung
+    (pool shrink, prefetch disable) had already been applied."""

@@ -25,6 +25,17 @@ Resilience (``repro.sim.resilience``) is configurable per run:
 exceptions, delays and store corruption for chaos testing. When the
 resilience layer absorbed anything, a summary line reports it.
 
+Campaigns (``repro.sim.campaign``): ``--campaign`` runs the requested
+experiments under a crash-safe write-ahead journal
+(``<cache>/campaign/manifest.json``) with per-experiment table dumps;
+``--resume`` continues an interrupted campaign, skipping journaled
+``done`` experiments bit-identically. SIGINT/SIGTERM are handled
+two-stage in both modes: the first signal winds the run down gracefully
+(checkpoint, journal, flush obs artifacts) and exits with status 75;
+a second signal hard-aborts. ``--stall-timeout`` / ``--mem-budget`` /
+``--dump-dir`` arm the stall/memory watchdog
+(``repro.sim.watchdog``).
+
 The elapsed-time stamps printed here are display-only terminal feedback
 (monotonic ``perf_counter``); they are never serialized into experiment
 results, which stay a pure function of configuration and seed. This
@@ -40,14 +51,28 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.common.errors import (
+    CampaignError,
+    MemoryBudgetError,
+    ShutdownRequested,
+)
 from repro.obs.export import write_chrome_trace, write_metrics_json
 from repro.obs.logging import configure_logging
 from repro.obs.registry import get_registry
 from repro.obs.report import RunReport
 from repro.obs.trace import PROFILE_ENV, TRACE_ENV, reset_tracing
+from repro.sim.campaign import (
+    SHUTDOWN_EXIT_CODE,
+    CampaignManifest,
+    CampaignRunner,
+    ShutdownCoordinator,
+    campaign_fingerprint,
+)
+from repro.sim.faults import FaultPlan
 from repro.sim.resilience import RetryPolicy
 from repro.sim.runner import ExperimentRunner
 from repro.sim.store import ResultStore
+from repro.sim.watchdog import Watchdog
 from repro.experiments.registry import EXPERIMENTS, resolve_experiments
 from repro.experiments.scale import scale_from_env
 
@@ -89,6 +114,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--task-timeout", type=float, default=None, metavar="SECONDS",
         help="per-task deadline for pooled execution; 0 disables "
              "(default: $COLT_TASK_TIMEOUT or none)",
+    )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="run under the resumable campaign journal "
+             "(<cache>/campaign/manifest.json) with per-experiment "
+             "table dumps; a graceful interruption exits with status "
+             f"{SHUTDOWN_EXIT_CODE} and --resume continues it",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted --campaign run from its journal, "
+             "skipping experiments already journaled as done "
+             "(implies --campaign)",
+    )
+    parser.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog: seconds without any task completion before "
+             "all-thread stacks are dumped and the stuck task is "
+             "requeued (default: $COLT_STALL_TIMEOUT or off)",
+    )
+    parser.add_argument(
+        "--mem-budget", type=float, default=None, metavar="MIB",
+        help="watchdog: RSS budget in MiB for this process tree; over "
+             "budget the runner degrades (shrink pool -> no prefetch "
+             "-> clean abort) (default: $COLT_MEM_BUDGET or off)",
+    )
+    parser.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="stack-dump directory for the watchdog and per-task "
+             "deadline dumps (default: $COLT_DUMP_DIR or "
+             ".colt-cache/dumps)",
     )
     parser.add_argument(
         "--trace", nargs="?", const="colt-trace.json", default=None,
@@ -173,45 +229,7 @@ def _emit_obs(args, runner: ExperimentRunner) -> None:
                 print(f"report -> {args.report}")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if not args.ids:
-        _list_experiments()
-        return 0
-
-    configure_logging(-1 if args.quiet else args.verbose)
-    obs_enabled = _enable_obs(args)
-
-    experiments = resolve_experiments(args.ids)
-    scale = scale_from_env()
-    store = None
-    if not args.no_cache:
-        if args.cache_dir is not None:
-            store = ResultStore(args.cache_dir)
-        else:
-            store = ResultStore.from_env()
-    if args.clear_cache and store is not None:
-        removed = store.clear()
-        print(f"cleared {removed} cached results from {store.root}")
-
-    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
-    policy = RetryPolicy.from_env()
-    if args.retries is not None:
-        policy = replace(policy, max_retries=max(0, args.retries))
-    if args.task_timeout is not None:
-        policy = replace(
-            policy,
-            timeout_s=args.task_timeout if args.task_timeout > 0 else None,
-        )
-    runner = ExperimentRunner(jobs=jobs, store=store, policy=policy)
-    for experiment in experiments:
-        started = time.perf_counter()
-        result = experiment.run(scale, runner)
-        elapsed = time.perf_counter() - started
-        if not args.quiet:
-            print(f"\n=== {experiment.title} ({elapsed:.1f}s) ===")
-            print(result.format_table())
-
+def _print_summaries(args, runner: ExperimentRunner) -> None:
     summary = runner.store_summary()
     if summary is not None and not args.quiet:
         print(
@@ -227,9 +245,174 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{value} {name}" for name, value in resilience.items() if value
         ]
         print("resilience: " + ", ".join(parts))
+
+
+def _run_plain(args, experiments, scale, runner: ExperimentRunner) -> int:
+    for experiment in experiments:
+        started = time.perf_counter()
+        result = experiment.run(scale, runner)
+        elapsed = time.perf_counter() - started
+        if not args.quiet:
+            print(f"\n=== {experiment.title} ({elapsed:.1f}s) ===")
+            print(result.format_table())
+    return 0
+
+
+def _run_campaign(
+    args, experiments, scale,
+    runner: ExperimentRunner,
+    store: ResultStore,
+    shutdown: ShutdownCoordinator,
+    watchdog: Optional[Watchdog],
+    faults: Optional[FaultPlan],
+) -> int:
+    ids = [experiment.id for experiment in experiments]
+    fingerprint = campaign_fingerprint(scale, ids)
+    campaign_dir = Path(store.root) / "campaign"
+    manifest_path = campaign_dir / "manifest.json"
+    if args.resume:
+        manifest = CampaignManifest.load(manifest_path)
+        if manifest.fingerprint != fingerprint:
+            raise CampaignError(
+                f"journal {manifest_path} was written for a different "
+                "scale preset, experiment list, or constants build; "
+                "refusing to mix results -- delete it (or rerun the "
+                "original command) to proceed"
+            )
+        if not args.quiet:
+            counts = manifest.counts()
+            print(
+                f"resuming campaign: {counts['done']} done, "
+                f"{len(manifest.pending_ids())} to run "
+                f"(journal {manifest_path})"
+            )
+    else:
+        manifest = CampaignManifest.fresh(manifest_path, ids, fingerprint)
+        if not args.quiet:
+            print(
+                f"campaign of {len(ids)} experiment(s); journal "
+                f"{manifest_path}"
+            )
+    campaign = CampaignRunner(
+        manifest,
+        runner,
+        scale,
+        tables_dir=campaign_dir / "tables",
+        shutdown=shutdown,
+        watchdog=watchdog,
+        faults=faults,
+    )
+    status = campaign.run()
+    if not args.quiet:
+        for experiment in experiments:
+            table = status.tables.get(experiment.id)
+            if table is None:
+                continue
+            skipped = " [journaled]" if experiment.id in status.skipped \
+                else ""
+            print(f"\n=== {experiment.title}{skipped} ===")
+            print(table, end="" if table.endswith("\n") else "\n")
+        counts = manifest.counts()
+        print(
+            f"\ncampaign: {len(status.completed)} run, "
+            f"{len(status.skipped)} skipped (journaled), "
+            f"{len(status.failed)} failed; journal now "
+            f"{counts['done']}/{len(ids)} done"
+        )
+    if status.interrupted is not None:
+        print(
+            f"interrupted by {status.interrupted}; journal is "
+            f"consistent -- resume with: python -m repro.experiments "
+            f"{' '.join(args.ids)} --campaign --resume"
+        )
+        return SHUTDOWN_EXIT_CODE
+    return 0 if not status.failed else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if not args.ids:
+        _list_experiments()
+        return 0
+    if args.resume:
+        args.campaign = True
+
+    configure_logging(-1 if args.quiet else args.verbose)
+    obs_enabled = _enable_obs(args)
+    if args.dump_dir is not None:
+        # Exported so pool workers (deadline dumps) agree on the dir.
+        os.environ["COLT_DUMP_DIR"] = args.dump_dir
+
+    experiments = resolve_experiments(args.ids)
+    scale = scale_from_env()
+    store = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            store = ResultStore(args.cache_dir)
+        else:
+            store = ResultStore.from_env()
+    if args.campaign and store is None:
+        print("--campaign needs the result store; drop --no-cache")
+        return 2
+    if args.clear_cache and store is not None:
+        removed = store.clear()
+        print(f"cleared {removed} cached results from {store.root}")
+
+    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    policy = RetryPolicy.from_env()
+    if args.retries is not None:
+        policy = replace(policy, max_retries=max(0, args.retries))
+    if args.task_timeout is not None:
+        policy = replace(
+            policy,
+            timeout_s=args.task_timeout if args.task_timeout > 0 else None,
+        )
+    faults = FaultPlan.from_env()
+    shutdown = ShutdownCoordinator().install()
+    watchdog = Watchdog.from_env(
+        stall_timeout_s=args.stall_timeout,
+        mem_budget_mib=args.mem_budget,
+        dump_dir=args.dump_dir,
+    )
+    if watchdog is not None:
+        watchdog.start()
+    runner = ExperimentRunner(
+        jobs=jobs, store=store, policy=policy, faults=faults,
+        shutdown=shutdown, watchdog=watchdog,
+    )
+    code = 1
+    try:
+        if args.campaign:
+            code = _run_campaign(
+                args, experiments, scale, runner, store,
+                shutdown, watchdog, faults,
+            )
+        else:
+            code = _run_plain(args, experiments, scale, runner)
+    except ShutdownRequested as exc:
+        # First signal outside the campaign loop: completed results are
+        # already checkpointed in the store; finish artifacts and exit
+        # with the resumable status.
+        print(
+            f"interrupted by {exc.signal_name}; completed results are "
+            "checkpointed in the store"
+        )
+        code = SHUTDOWN_EXIT_CODE
+    except CampaignError as exc:
+        print(f"campaign error: {exc}")
+        code = 2
+    except MemoryBudgetError as exc:
+        print(f"memory budget exhausted: {exc}")
+        code = 1
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
+        shutdown.restore()
+
+    _print_summaries(args, runner)
     if obs_enabled:
         _emit_obs(args, runner)
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -133,6 +133,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 
+def experiment_ids() -> Tuple[str, ...]:
+    """Every registered experiment id, in paper-artefact order."""
+    return tuple(EXPERIMENTS)
+
+
 def get_experiment(experiment_id: str) -> Experiment:
     try:
         return EXPERIMENTS[experiment_id]

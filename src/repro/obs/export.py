@@ -28,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.common.atomicio import atomic_write_json
 from repro.obs.registry import MetricsSnapshot
 from repro.obs.trace import TraceEvent
 
@@ -80,11 +81,13 @@ def write_chrome_trace(
     events: List[TraceEvent],
     metadata: Optional[Dict[str, object]] = None,
 ) -> Path:
-    """Write the Chrome trace JSON; returns the path written."""
+    """Write the Chrome trace JSON; returns the path written.
+
+    Atomic: a crash (or SIGKILL) mid-export leaves the previous trace
+    artifact intact rather than a truncated, unparseable one.
+    """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(chrome_trace_dict(events, metadata), handle)
-        handle.write("\n")
+    atomic_write_json(path, chrome_trace_dict(events, metadata))
     return path
 
 
@@ -175,9 +178,9 @@ def write_metrics_json(
     path: Union[str, Path], snapshot: MetricsSnapshot
 ) -> Path:
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(snapshot.to_json_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(
+        path, snapshot.to_json_dict(), indent=2, sort_keys=True
+    )
     return path
 
 

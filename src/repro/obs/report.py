@@ -71,6 +71,8 @@ class RunReport:
     wall_ms: float = 0.0
     store: Dict[str, float] = field(default_factory=dict)
     resilience: Dict[str, float] = field(default_factory=dict)
+    campaign: Dict[str, float] = field(default_factory=dict)
+    watchdog: Dict[str, float] = field(default_factory=dict)
     coalescing: Dict[str, dict] = field(default_factory=dict)
     buddy_timeline: Dict[str, float] = field(default_factory=dict)
     instrument_count: int = 0
@@ -97,6 +99,8 @@ class RunReport:
             report.instrument_count = len(snapshot)
             report._aggregate_store(snapshot)
             report._aggregate_resilience(snapshot)
+            report._aggregate_campaign(snapshot)
+            report._aggregate_watchdog(snapshot)
             report._aggregate_coalescing(snapshot)
         return report
 
@@ -194,6 +198,30 @@ class RunReport:
         if any(totals.values()):
             self.resilience = totals
 
+    def _aggregate_campaign(self, snapshot: MetricsSnapshot) -> None:
+        totals = {
+            name: snapshot.counter_total(f"colt_campaign_{name}")
+            for name in (
+                "experiments", "completed", "skipped", "failed",
+                "interrupted", "resumed", "journal_writes",
+            )
+        }
+        # Only campaign-mode invocations carry these counters.
+        if any(totals.values()):
+            self.campaign = totals
+
+    def _aggregate_watchdog(self, snapshot: MetricsSnapshot) -> None:
+        totals = {
+            name: snapshot.counter_total(f"colt_watchdog_{name}")
+            for name in (
+                "stalls", "stack_dumps", "mem_breaches", "pool_shrinks",
+                "prefetch_disables", "budget_aborts",
+            )
+        }
+        # A healthy run trips nothing; report only absorbed trouble.
+        if any(totals.values()):
+            self.watchdog = totals
+
     def _aggregate_coalescing(self, snapshot: MetricsSnapshot) -> None:
         entry = snapshot.get("colt_coalesce_run_length")
         if entry is None:
@@ -268,6 +296,24 @@ class RunReport:
             ]
             lines.append("")
             lines.append("resilience: " + ", ".join(parts))
+
+        if self.campaign:
+            parts = [
+                f"{value:.0f} {name}"
+                for name, value in self.campaign.items()
+                if value
+            ]
+            lines.append("")
+            lines.append("campaign: " + ", ".join(parts))
+
+        if self.watchdog:
+            parts = [
+                f"{value:.0f} {name}"
+                for name, value in self.watchdog.items()
+                if value
+            ]
+            lines.append("")
+            lines.append("watchdog: " + ", ".join(parts))
 
         if self.coalescing:
             lines.append("")

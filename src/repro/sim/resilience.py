@@ -16,7 +16,19 @@ with per-task submission under an explicit :class:`RetryPolicy`:
 * **Per-task deadlines** -- ``timeout_s`` bounds each
   ``future.result`` wait; a timed-out task is retried and the stale
   future ignored (both attempts compute identical results, so the
-  duplicate is harmless).
+  duplicate is harmless). Pooled tasks additionally arm a
+  worker-side :mod:`faulthandler` dump at the same deadline, so a
+  blown ``COLT_TASK_TIMEOUT`` leaves ``task-<pid>.txt`` under the
+  dump dir showing *where* the worker was stuck, not just that it
+  was.
+* **Shutdown and stall hooks** -- an installed
+  :class:`~repro.sim.campaign.ShutdownCoordinator` turns the first
+  SIGINT/SIGTERM into a :class:`~repro.common.errors.ShutdownRequested`
+  raised at the next safe point (pending futures cancelled, completed
+  results already yielded -- and therefore checkpointed); a
+  :class:`~repro.sim.watchdog.Watchdog` heartbeat is sent per
+  completed task, and a fired stall cancels and requeues the stuck
+  task through the same retry machinery a timeout uses.
 * **Pool recovery** -- a ``BrokenProcessPool`` (worker killed by the
   OS, the oom-killer, or a ``crash`` fault) rebuilds the pool once;
   a second break degrades gracefully to serial in-process execution
@@ -40,12 +52,14 @@ here feeds a ``SimulationResult``.
 
 from __future__ import annotations
 
+import faulthandler
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -56,12 +70,53 @@ from typing import (
     Tuple,
 )
 
-from repro.common.errors import TaskExecutionError
+from repro.common.errors import (
+    ShutdownRequested,
+    StallError,
+    TaskExecutionError,
+)
 from repro.common.statistics import CounterSet
 from repro.obs.logging import get_logger
 from repro.obs.trace import span
+from repro.sim.watchdog import Watchdog, resolve_dump_dir
 
 _LOG = get_logger(__name__)
+
+#: Wait-slice for shutdown/stall polling while blocked on a future.
+_POLL_SLICE_S = 0.1
+
+
+def _run_armed(fn, args, attempt, timeout_s, dump_dir):
+    """Worker-side task wrapper: faulthandler dump at the deadline.
+
+    Arms ``faulthandler.dump_traceback_later`` for the parent's
+    per-task deadline, so when the parent gives up on this task the
+    worker has already written its all-thread stacks to
+    ``<dump_dir>/task-<pid>.txt`` -- the post-mortem says *where* the
+    worker was stuck. Disarmed on completion; a task that finishes in
+    time leaves no dump.
+    """
+    try:
+        path = Path(dump_dir) / f"task-{os.getpid()}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = path.open("a", encoding="utf-8")
+    except OSError:
+        return fn(*args, attempt)
+    try:
+        faulthandler.dump_traceback_later(
+            timeout_s, exit=False, file=handle
+        )
+        return fn(*args, attempt)
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+        handle.close()
+        try:
+            # A task that met its deadline dumped nothing: do not
+            # litter the dump dir with empty files.
+            if path.stat().st_size == 0:
+                path.unlink()
+        except OSError:
+            pass
 
 #: Counter names the executor maintains (bound to the metrics registry
 #: as ``colt_resilience_*`` by the runner when observability is on).
@@ -161,6 +216,9 @@ class ResilientExecutor:
         policy: Optional[RetryPolicy] = None,
         counters: Optional[CounterSet] = None,
         initializer: Optional[Callable] = None,
+        shutdown=None,
+        watchdog: Optional[Watchdog] = None,
+        dump_dir=None,
     ) -> None:
         self._jobs = max(1, int(jobs))
         self._policy = policy if policy is not None else RetryPolicy()
@@ -168,6 +226,9 @@ class ResilientExecutor:
             counters if counters is not None else CounterSet(RESILIENCE_COUNTERS)
         )
         self._initializer = initializer
+        self._shutdown = shutdown
+        self._watchdog = watchdog
+        self._dump_dir = str(resolve_dump_dir(dump_dir))
         self._pool: Optional[ProcessPoolExecutor] = None
         self._rebuilt = False
         self._serial = self._jobs <= 1
@@ -263,6 +324,53 @@ class ResilientExecutor:
     # Execution.
     # ------------------------------------------------------------------
 
+    def _check_shutdown(self) -> None:
+        if self._shutdown is not None and self._shutdown.requested:
+            raise ShutdownRequested(
+                getattr(self._shutdown, "signal_name", None) or "signal"
+            )
+
+    def _heartbeat(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.heartbeat()
+
+    def _await(self, future):
+        """``future.result`` bounded by the deadline, sliced so the
+        wait stays responsive to shutdown signals and stall firings."""
+        timeout = self._policy.timeout_s
+        if self._shutdown is None and self._watchdog is None:
+            return future.result(timeout=timeout)
+        waited = 0.0
+        while True:
+            self._check_shutdown()
+            if self._watchdog is not None and self._watchdog.consume_stall():
+                raise StallError(
+                    "stall watchdog fired: cancelling and requeueing "
+                    f"(stack dump under {self._watchdog.dump_dir})"
+                )
+            slice_s = _POLL_SLICE_S
+            if timeout is not None:
+                slice_s = min(slice_s, max(0.0, timeout - waited))
+            try:
+                return future.result(timeout=slice_s)
+            except FutureTimeoutError:
+                waited += slice_s
+                if timeout is not None and waited >= timeout:
+                    raise
+
+    def _drain_on_shutdown(self, submitted, consumed: int
+                           ) -> Iterator[Tuple[TaskSpec, object]]:
+        """First signal arrived mid-wave: cancel what has not run,
+        yield what already finished, so every completed result still
+        checkpoints before :class:`ShutdownRequested` propagates."""
+        for task, future in submitted[consumed:]:
+            if future.done() and not future.cancelled() \
+                    and future.exception() is None:
+                self._heartbeat()
+                yield task, future.result()
+            else:
+                future.cancel()
+
     def run(
         self, tasks: Sequence[TaskSpec]
     ) -> Iterator[Tuple[TaskSpec, object]]:
@@ -272,56 +380,91 @@ class ResilientExecutor:
         within a round), so the caller can checkpoint them before any
         permanent failure raises. After the final round, the first
         :class:`TaskExecutionError` raises; additional permanent
-        failures are logged.
+        failures are logged. A graceful-shutdown request raises
+        :class:`ShutdownRequested` after cancelling unstarted work and
+        yielding everything already complete.
         """
         failures: List[TaskExecutionError] = []
         pending = list(tasks)
-        while pending:
-            batch, pending = pending, []
-            if self._serial:
+        if pending and self._watchdog is not None:
+            self._watchdog.begin_work()
+        try:
+            while pending:
+                self._check_shutdown()
+                batch, pending = pending, []
+                if self._serial:
+                    for task in batch:
+                        self._check_shutdown()
+                        yield from self._run_serial(task, failures)
+                    continue
+                pool = self._ensure_pool()
+                submitted = []
                 for task in batch:
-                    yield from self._run_serial(task, failures)
-                continue
-            pool = self._ensure_pool()
-            submitted = []
-            for task in batch:
-                self.counters.increment("tasks")
-                submitted.append(
-                    (task, pool.submit(task.fn, *task.args, task.attempt))
-                )
-            pool_broken = False
-            for task, future in submitted:
-                try:
-                    result = future.result(timeout=self._policy.timeout_s)
-                except BrokenProcessPool:
-                    pool_broken = True
-                    retry = self._next_attempt(
-                        task, "worker process died", failures
-                    )
-                    if retry is not None:
-                        pending.append(retry)
-                except FutureTimeoutError:
-                    self.counters.increment("timeouts")
-                    retry = self._next_attempt(
-                        task,
-                        f"deadline of {self._policy.timeout_s}s exceeded",
-                        failures,
-                    )
-                    if retry is not None:
-                        pending.append(retry)
-                except Exception as exc:
-                    self.counters.increment("task_errors")
-                    retry = self._next_attempt(task, exc, failures)
-                    if retry is not None:
-                        pending.append(retry)
-                else:
-                    yield task, result
-            if pool_broken:
-                self._recover_pool()
+                    self.counters.increment("tasks")
+                    submitted.append((task, self._submit(pool, task)))
+                pool_broken = False
+                for position, (task, future) in enumerate(submitted):
+                    try:
+                        result = self._await(future)
+                    except ShutdownRequested:
+                        yield from self._drain_on_shutdown(
+                            submitted, position
+                        )
+                        raise
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        retry = self._next_attempt(
+                            task, "worker process died", failures
+                        )
+                        if retry is not None:
+                            pending.append(retry)
+                    except FutureTimeoutError:
+                        self.counters.increment("timeouts")
+                        retry = self._next_attempt(
+                            task,
+                            f"deadline of {self._policy.timeout_s}s "
+                            f"exceeded (worker stacks, if it was stuck, "
+                            f"dumped under {self._dump_dir})",
+                            failures,
+                        )
+                        if retry is not None:
+                            pending.append(retry)
+                    except StallError as exc:
+                        future.cancel()
+                        retry = self._next_attempt(task, exc, failures)
+                        if retry is not None:
+                            pending.append(retry)
+                    except Exception as exc:
+                        self.counters.increment("task_errors")
+                        retry = self._next_attempt(task, exc, failures)
+                        if retry is not None:
+                            pending.append(retry)
+                    else:
+                        self._heartbeat()
+                        yield task, result
+                if pool_broken:
+                    self._recover_pool()
+        finally:
+            if tasks and self._watchdog is not None:
+                self._watchdog.end_work()
         if failures:
             for extra in failures[1:]:
                 _LOG.error("additional permanent failure: %s", extra)
             raise failures[0]
+
+    def _submit(self, pool: ProcessPoolExecutor, task: TaskSpec):
+        """Submit one attempt; deadline-bearing tasks get the
+        worker-side faulthandler arming wrapper."""
+        if self._policy.timeout_s is not None:
+            return pool.submit(
+                _run_armed,
+                task.fn,
+                task.args,
+                task.attempt,
+                self._policy.timeout_s,
+                self._dump_dir,
+            )
+        return pool.submit(task.fn, *task.args, task.attempt)
 
     def _run_serial(
         self, task: TaskSpec, failures: List[TaskExecutionError]
@@ -339,5 +482,6 @@ class ResilientExecutor:
                     return
                 current = retry
                 continue
+            self._heartbeat()
             yield current, result
             return

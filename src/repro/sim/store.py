@@ -17,9 +17,11 @@ arbitrary code changes; bump :data:`STORE_VERSION` when simulator
 behaviour changes without a constant moving (the capture-record layout
 counts as such a change).
 
-Writes are atomic (temp file + ``os.replace`` in the same directory),
-so concurrent runner processes may share one store: both compute the
-same bits and whichever finishes last wins with an identical payload.
+Writes are atomic and durable (``repro.common.atomicio``: temp file,
+``fsync``, ``os.replace`` in the same directory), so concurrent runner
+processes may share one store -- both compute the same bits and
+whichever finishes last wins with an identical payload -- and a kill
+mid-save can never leave a torn entry.
 
 Entries are *checksum-framed*: a magic prefix, the payload length, and
 a SHA-256 over the pickle bytes precede the payload, so a torn write or
@@ -53,6 +55,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.common import constants
+from repro.common.atomicio import atomic_write_bytes
 from repro.common.statistics import CounterSet
 from repro.obs.logging import get_logger
 from repro.obs.registry import bind_counterset, get_registry
@@ -162,6 +165,19 @@ def _constants_fingerprint() -> dict:
         for name, value in sorted(vars(constants).items())
         if name.isupper() and isinstance(value, (bool, int, float, str))
     }
+
+
+def constants_fingerprint() -> dict:
+    """Public view of the constants fingerprint (campaign journals
+    embed it so a resumed campaign refuses to mix results computed
+    under different architectural constants)."""
+    return _constants_fingerprint()
+
+
+def canonical_encode(value):
+    """Public view of the canonical config encoding (campaign
+    fingerprints reuse it for the scale preset)."""
+    return _encode(value)
 
 
 def config_key(config: SimulationConfig) -> str:
@@ -320,19 +336,13 @@ class ResultStore:
             if kind is not None:
                 frame = corrupt_bytes(frame, kind)
         path = self._path(config)
-        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
-            temp.write_bytes(frame)
-            os.replace(temp, path)
+            atomic_write_bytes(path, frame)
         except OSError as exc:
             # Disk full / permissions lost mid-run: degrade to a warned
             # dropped save, the in-process cache still has the result.
             _LOG.warning("store save failed for %s: %s", path.name, exc)
             self.counters.increment("save_errors")
-            try:
-                temp.unlink()
-            except OSError:
-                pass
             return
         self.counters.increment("saves")
 

@@ -36,7 +36,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, WorkloadError
 from repro.common.statistics import CounterSnapshot
 from repro.contiguity.scanner import ContiguityReport
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
@@ -53,8 +53,8 @@ from repro.osmem.memhog import AgingProfile
 from repro.osmem.process import Process
 from repro.sim.scenario import LLCPollution, ScenarioEngine
 from repro.walker.page_walker import PageWalker
-from repro.workloads.benchmarks import BenchmarkProfile
-from repro.workloads.trace import Trace
+from repro.workloads.benchmarks import BenchmarkProfile, get_benchmark
+from repro.workloads.trace import Trace, scaled_region_pages
 
 
 @dataclass(frozen=True)
@@ -110,10 +110,60 @@ class SimulationConfig:
     sanitize: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        """Reject impossible runs at construction, not hours in.
+
+        Campaign resubmission makes late failures expensive: a config
+        that cannot ever simulate should fail here with a message that
+        says what to change, not after its capture wave is scheduled.
+        """
         if self.accesses < 1:
-            raise ConfigurationError("accesses must be >= 1")
+            raise ConfigurationError(
+                f"accesses must be >= 1, got {self.accesses} -- an "
+                "empty trace has nothing to measure"
+            )
         if not 0.0 <= self.memhog_fraction < 1.0:
-            raise ConfigurationError("memhog_fraction must be in [0, 1)")
+            raise ConfigurationError(
+                f"memhog_fraction must be in [0, 1), got "
+                f"{self.memhog_fraction}"
+            )
+        if self.scale <= 0:
+            raise ConfigurationError(
+                f"scale must be positive, got {self.scale}"
+            )
+        for knob in (
+            "tick_every", "churn_every", "churn_pages", "churn_live_limit"
+        ):
+            value = getattr(self, knob)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{knob} must be >= 0 (0 disables it), got {value}"
+                )
+        if self.churn_every > 0 and self.churn_pages < 1:
+            raise ConfigurationError(
+                "churn is enabled (churn_every="
+                f"{self.churn_every}) but churn_pages is "
+                f"{self.churn_pages}; each churn allocation needs >= 1 "
+                "page, or set churn_every=0 to disable churn"
+            )
+        if self.llc_pollution_per_access < 0:
+            raise ConfigurationError(
+                "llc_pollution_per_access must be >= 0, got "
+                f"{self.llc_pollution_per_access}"
+            )
+        try:
+            profile = get_benchmark(self.benchmark)
+        except WorkloadError as exc:
+            raise ConfigurationError(str(exc)) from None
+        footprint = sum(
+            scaled_region_pages(profile, self.scale).values()
+        )
+        if footprint > self.kernel.num_frames:
+            raise ConfigurationError(
+                f"benchmark {self.benchmark!r} at scale {self.scale} "
+                f"maps {footprint} pages but physical memory is only "
+                f"{self.kernel.num_frames} frames; lower scale or "
+                "raise kernel.num_frames"
+            )
 
     def with_updates(self, **kwargs) -> "SimulationConfig":
         return replace(self, **kwargs)

@@ -43,7 +43,16 @@ class SetAssociativeTLBConfig:
 
     def __post_init__(self) -> None:
         if self.entries < 1 or self.ways < 1:
-            raise ConfigurationError(f"invalid TLB geometry {self}")
+            raise ConfigurationError(
+                f"{self.name}: entries and ways must both be >= 1 "
+                f"(got entries={self.entries}, ways={self.ways})"
+            )
+        if self.ways > self.entries:
+            raise ConfigurationError(
+                f"{self.name}: associativity {self.ways} exceeds the "
+                f"{self.entries} total entries -- a {self.ways}-way TLB "
+                f"needs at least {self.ways} entries"
+            )
         if self.entries % self.ways != 0:
             raise ConfigurationError(
                 f"{self.name}: {self.entries} entries not divisible by "

@@ -13,23 +13,39 @@ Runs the fig18 QUICK pipeline three times and compares results:
    must quarantine exactly those entries (never a silent unlink, never
    a crash), recompute them, and again match the clean results.
 
+``--campaign`` switches to the end-to-end campaign invariant instead:
+it drives ``python -m repro.experiments --campaign`` subprocesses
+through a clean run, a SIGTERM kill mid-campaign (must exit with the
+resumable status and leave a consistent write-ahead journal), a
+``--resume`` that finishes the journal with table dumps byte-identical
+to the clean run, and a stall-watchdog run whose delayed capture must
+produce a stack-dump artifact while still converging to the clean
+tables.
+
 Exit status is non-zero on any divergence; the chaos CI job runs
-``python tools/chaos_check.py --jobs 2``. Because injected faults only
-kill/delay/corrupt -- they never feed a number into a simulation --
-any mismatch here is a real determinism or recovery bug.
+``python tools/chaos_check.py --jobs 2`` and
+``python tools/chaos_check.py --campaign --jobs 2``. Because injected
+faults only kill/delay/corrupt -- they never feed a number into a
+simulation -- any mismatch here is a real determinism or recovery bug.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
+import subprocess
 import sys
 import tempfile
+import time
+from pathlib import Path
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
+from repro.sim.campaign import SHUTDOWN_EXIT_CODE  # noqa: E402
 from repro.sim.faults import FaultPlan  # noqa: E402
 from repro.sim.resilience import RetryPolicy  # noqa: E402
 from repro.sim.runner import ExperimentRunner  # noqa: E402
@@ -48,6 +64,23 @@ DEFAULT_PLAN = (
 CORRUPTED_WRITES = 2
 
 FIGURE = "fig18"
+
+#: Experiments for the campaign check. fig19 replays fig18's scenario
+#: groups, so the second campaign entry is cheap but still exercises a
+#: distinct journal transition.
+CAMPAIGN_IDS = ("fig18", "fig19")
+
+#: Parent-process hold on campaign entry 1: a window in which the
+#: SIGTERM deterministically lands between the journal's
+#: ``mark_running`` and the experiment's first task, so the kill always
+#: interrupts a running campaign rather than racing its completion.
+HOLD_SECONDS = 10.0
+
+#: Stall-watchdog phase: the first capture sleeps DELAY, the watchdog
+#: trips at STALL (well above a healthy QUICK capture's ~2s) and
+#: requeues it; the retried attempt escapes the x1 fault.
+STALL_DELAY_SECONDS = 12.0
+STALL_TIMEOUT_SECONDS = 4.0
 
 
 def _run_pipeline(runner: ExperimentRunner) -> str:
@@ -81,6 +114,176 @@ def _compare(name: str, clean: ExperimentRunner, other: ExperimentRunner,
     return failures
 
 
+def _campaign_env(faults: str = "") -> dict:
+    """Subprocess environment: QUICK scale, src on path, chosen faults."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_SCALE"] = "quick"
+    if faults:
+        env["COLT_FAULTS"] = faults
+    else:
+        env.pop("COLT_FAULTS", None)
+    # The phases below pass watchdog knobs explicitly; ambient settings
+    # must not leak in.
+    for var in ("COLT_STALL_TIMEOUT", "COLT_MEM_BUDGET", "COLT_DUMP_DIR"):
+        env.pop(var, None)
+    return env
+
+
+def _campaign_cmd(cache_dir: str, jobs: int, ids=CAMPAIGN_IDS, extra=()):
+    return [
+        sys.executable, "-m", "repro.experiments", *ids,
+        "--campaign", "--jobs", str(jobs), "--cache-dir", cache_dir,
+        *extra,
+    ]
+
+
+def _statuses(cache_dir: str) -> dict:
+    manifest = Path(cache_dir) / "campaign" / "manifest.json"
+    data = json.loads(manifest.read_text(encoding="utf-8"))
+    return {
+        exp_id: entry["status"]
+        for exp_id, entry in data["entries"].items()
+    }
+
+
+def _tables(cache_dir: str) -> dict:
+    tables_dir = Path(cache_dir) / "campaign" / "tables"
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(tables_dir.glob("*.txt"))
+    }
+
+
+def _campaign_check(args) -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="colt-campaign-") as tmp:
+        clean_dir = os.path.join(tmp, "clean")
+        kill_dir = os.path.join(tmp, "killed")
+        stall_dir = os.path.join(tmp, "stall")
+        dump_dir = os.path.join(tmp, "dumps")
+
+        print(f"clean campaign {' '.join(CAMPAIGN_IDS)} (jobs={args.jobs})")
+        result = subprocess.run(
+            _campaign_cmd(clean_dir, args.jobs),
+            env=_campaign_env(), capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            print(f"FAIL: clean campaign exited {result.returncode}\n"
+                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+            return 1
+        clean_tables = _tables(clean_dir)
+        if sorted(clean_tables) != [f"{i}.txt" for i in sorted(CAMPAIGN_IDS)]:
+            print(f"FAIL: clean campaign table dumps incomplete: "
+                  f"{sorted(clean_tables)}", file=sys.stderr)
+            return 1
+        print(f"  {len(clean_tables)} table dumps journaled done")
+
+        # Kill phase: a parent-side hold on entry 1 opens a window in
+        # which the campaign is journaled *running*; SIGTERM there must
+        # wind down gracefully with the resumable status.
+        print("killed campaign (SIGTERM while entry 1 is running)")
+        proc = subprocess.Popen(
+            _campaign_cmd(kill_dir, args.jobs),
+            env=_campaign_env(
+                f"delay@campaign:1/{HOLD_SECONDS:g}"
+            ),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        first_table = Path(kill_dir) / "campaign" / "tables" / \
+            f"{CAMPAIGN_IDS[0]}.txt"
+        deadline = time.monotonic() + 300.0
+        while not first_table.exists():
+            if proc.poll() is not None or time.monotonic() > deadline:
+                out = proc.communicate()[0]
+                print(f"FAIL: campaign ended (rc={proc.returncode}) "
+                      f"before it could be killed\n{out}", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        out = proc.communicate(timeout=120.0)[0]
+        if proc.returncode != SHUTDOWN_EXIT_CODE:
+            print(f"FAIL: killed campaign exited {proc.returncode}, "
+                  f"expected {SHUTDOWN_EXIT_CODE}\n{out}", file=sys.stderr)
+            failures += 1
+        statuses = _statuses(kill_dir)
+        if statuses.get(CAMPAIGN_IDS[0]) != "done" or any(
+            status == "running" for status in statuses.values()
+        ):
+            print(f"FAIL: journal inconsistent after kill: {statuses}",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(f"  exit {SHUTDOWN_EXIT_CODE}, journal consistent: "
+                  f"{statuses}")
+
+        print("resumed campaign (--resume over the killed journal)")
+        result = subprocess.run(
+            _campaign_cmd(kill_dir, args.jobs, extra=("--resume",)),
+            env=_campaign_env(), capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            print(f"FAIL: resume exited {result.returncode}\n"
+                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+            failures += 1
+        statuses = _statuses(kill_dir)
+        if any(status != "done" for status in statuses.values()):
+            print(f"FAIL: resume left unfinished entries: {statuses}",
+                  file=sys.stderr)
+            failures += 1
+        if _tables(kill_dir) != clean_tables:
+            print("FAIL: resumed tables differ from clean campaign",
+                  file=sys.stderr)
+            failures += 1
+        if not failures:
+            print("  journal all done, tables byte-identical to clean")
+
+        print(f"stalled campaign (capture sleeps "
+              f"{STALL_DELAY_SECONDS:g}s, watchdog at "
+              f"{STALL_TIMEOUT_SECONDS:g}s)")
+        result = subprocess.run(
+            _campaign_cmd(
+                stall_dir, args.jobs, ids=(CAMPAIGN_IDS[0],),
+                extra=(
+                    "--stall-timeout", f"{STALL_TIMEOUT_SECONDS:g}",
+                    "--dump-dir", dump_dir,
+                ),
+            ),
+            env=_campaign_env(
+                f"delay@capture:0/{STALL_DELAY_SECONDS:g}"
+            ),
+            capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            print(f"FAIL: stalled campaign exited {result.returncode}\n"
+                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+            failures += 1
+        dumps = sorted(Path(dump_dir).glob("stall-*.txt"))
+        if not dumps:
+            print("FAIL: stall watchdog left no stack-dump artifact "
+                  f"under {dump_dir}", file=sys.stderr)
+            failures += 1
+        stall_key = f"{CAMPAIGN_IDS[0]}.txt"
+        if _tables(stall_dir).get(stall_key) != clean_tables[stall_key]:
+            print("FAIL: stalled campaign table differs from clean run",
+                  file=sys.stderr)
+            failures += 1
+        if dumps and not failures:
+            print(f"  recovered bit-identically; {len(dumps)} stall "
+                  f"dump(s), e.g. {dumps[0].name}")
+
+    if failures:
+        print(f"campaign check FAILED ({failures} divergence(s))",
+              file=sys.stderr)
+        return 1
+    print("campaign check passed: kill/resume/stall all converged "
+          "on the clean tables")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Verify fault-injected runs recover bit-identical "
@@ -94,7 +297,15 @@ def main(argv=None) -> int:
         "--faults", default=DEFAULT_PLAN, metavar="PLAN",
         help=f"fault plan for the chaos run (default: {DEFAULT_PLAN!r})",
     )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="check the campaign journal instead: clean run, SIGTERM "
+             "kill, --resume to byte-identical tables, stall-watchdog "
+             "dump",
+    )
     args = parser.parse_args(argv)
+    if args.campaign:
+        return _campaign_check(args)
 
     policy = RetryPolicy(max_retries=3, backoff_s=0.05, timeout_s=600.0)
     failures = 0
