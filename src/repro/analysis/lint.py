@@ -4,39 +4,17 @@ The simulator's headline guarantee is that a configuration plus a seed
 fully determines every number in every figure. That guarantee is easy to
 lose to one careless line -- a ``random.shuffle`` here, a
 ``time.time()`` mixed into a filename there -- and impossible to protect
-with generic linters. This module walks Python source with :mod:`ast`
-and reports violations of four repo-specific rules:
+with generic linters. The rules (``rng-module-state``, ``wall-clock``,
+``mutable-default``, ``float-eq``, ``no-print``) live in
+:mod:`repro.analysis.static.lint_rules` with the why of each; this
+module is the stable ``colt-lint`` facade over them.
 
-``rng-module-state``
-    All randomness must flow through ``repro.common.rng.SeedSequencer``.
-    Importing :mod:`random` or touching ``numpy.random``'s module-level
-    state (``np.random.seed`` / ``np.random.shuffle`` / ...) is banned
-    inside ``src/repro``; ``numpy.random.default_rng`` is allowed only
-    inside ``repro/common/rng.py`` itself.
-
-``wall-clock``
-    Simulation code must not read wall-clock time (``time.time``,
-    ``perf_counter``, ``datetime.now``, ...): results would depend on
-    when, not just what, you ran. Display-only timing in the CLI layers
-    is fine, so those files are allow-listed (see ``WALL_CLOCK_ALLOW``).
-
-``mutable-default``
-    Mutable default arguments (``def f(x=[])``) alias state across
-    calls, the classic source of crosstalk between simulated runs.
-
-``float-eq``
-    Comparing floats with ``==``/``!=`` makes behaviour depend on
-    rounding; rates and averages must be compared with tolerances.
-
-``no-print``
-    Library code under ``src/repro`` must not call ``print()``:
-    diagnostics belong on the ``repro.obs.logging`` logger, where
-    ``--quiet``/``--verbose`` control them. CLI entry points
-    (``__main__.py`` modules) and the allow-listed CLI-style tools
-    (see ``PRINT_ALLOW``) are exempt.
-
-Any diagnostic can be suppressed for one line with a trailing
-``# colt-lint: disable=<rule>[,<rule>...]`` (or ``disable=all``) pragma.
+``colt-lint`` is now an alias for ``colt-analyze --passes lint
+--no-baseline``: the visitor runs as one pass of the shared static
+analysis framework (:mod:`repro.analysis.static`), so the
+``# colt-lint: disable=...`` pragma, file iteration, and reporting are
+implemented exactly once and shared with the concurrency / registry /
+hygiene analyzers.
 
 Run as ``python tools/lint.py <paths>`` or via the ``colt-lint``
 console script; exits nonzero when diagnostics were emitted.
@@ -44,395 +22,48 @@ console script; exits nonzero when diagnostics were emitted.
 
 from __future__ import annotations
 
-import argparse
-import ast
-import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
-#: Rule identifiers, in reporting order.
-RULES = (
-    "rng-module-state", "wall-clock", "mutable-default", "float-eq",
-    "no-print",
+from repro.analysis.static.lint_rules import (  # noqa: F401  (public API)
+    PRINT_ALLOW,
+    RNG_CONSTRUCTION_ALLOW,
+    RULES,
+    WALL_CLOCK_ALLOW,
+    LintPass,
 )
-
-#: Files (matched by path suffix) where wall-clock reads are legal:
-#: CLI layers that print elapsed time but never serialize it, plus the
-#: tracer (its timestamps describe the run; they never feed results)
-#: and the watchdog (stall/memory monitoring is inherently about real
-#: time; nothing it measures reaches a SimulationResult).
-WALL_CLOCK_ALLOW = (
-    "tools/lint.py",
-    "tools/calibrate.py",
-    "tools/bench_runner.py",
-    "tools/obs_report.py",
-    # Drives kill/resume subprocesses: polls for table files and
-    # signal-delivery windows; nothing feeds into results.
-    "tools/chaos_check.py",
-    "repro/experiments/__main__.py",
-    "repro/obs/trace.py",
-    "repro/sim/watchdog.py",
+from repro.analysis.static.model import (  # noqa: F401  (public API)
+    ProjectModel,
+    iter_python_files,
 )
+from repro.analysis.static.passes import Finding, run_passes
 
-#: Library files under ``repro/`` that are CLI front-ends in disguise
-#: (runnable via ``python -m``/console scripts) and may print directly.
-PRINT_ALLOW = (
-    "repro/analysis/lint.py",
-    "repro/analysis/determinism.py",
-)
-
-#: The one module allowed to construct numpy Generators directly.
-RNG_CONSTRUCTION_ALLOW = ("repro/common/rng.py",)
-
-#: ``numpy.random`` attributes that are types/constructors handed around
-#: as annotations or factories, not hidden module state.
-_NP_RANDOM_TYPES = frozenset(
-    ("Generator", "BitGenerator", "SeedSequence", "RandomState")
-)
-
-#: Wall-clock callables, keyed by module alias.
-_TIME_FUNCS = frozenset(
-    ("time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
-     "monotonic_ns", "process_time", "process_time_ns")
-)
-_DATETIME_FUNCS = frozenset(("now", "utcnow", "today"))
-
-_PRAGMA = re.compile(r"#\s*colt-lint:\s*disable=([A-Za-z0-9_,\s-]+)")
-
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One lint finding, formatted ``path:line:col: rule: message``."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
-
-
-def _disabled_rules(source_line: str) -> frozenset:
-    """Rules suppressed by a ``# colt-lint: disable=...`` pragma."""
-    match = _PRAGMA.search(source_line)
-    if not match:
-        return frozenset()
-    names = frozenset(
-        part.strip() for part in match.group(1).split(",") if part.strip()
-    )
-    if "all" in names:
-        return frozenset(RULES)
-    return names
-
-
-def _path_matches(path: str, suffixes: Sequence[str]) -> bool:
-    normalized = path.replace("\\", "/")
-    return any(normalized.endswith(suffix) for suffix in suffixes)
-
-
-class _Visitor(ast.NodeVisitor):
-    """Collects raw diagnostics for one module (pragmas applied later)."""
-
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self.diagnostics: List[Diagnostic] = []
-        self._allow_wall_clock = _path_matches(path, WALL_CLOCK_ALLOW)
-        self._allow_rng_construction = _path_matches(
-            path, RNG_CONSTRUCTION_ALLOW
-        )
-        normalized = path.replace("\\", "/")
-        self._check_print = (
-            "repro/" in normalized
-            and not normalized.endswith("__main__.py")
-            and not _path_matches(path, PRINT_ALLOW)
-        )
-        # module-alias tracking: which local names refer to numpy /
-        # time / datetime, so aliased imports cannot dodge the rules.
-        self._numpy_aliases = set()
-        self._time_aliases = set()
-        self._datetime_mod_aliases = set()
-        self._datetime_cls_aliases = set()
-
-    # -- helpers -------------------------------------------------------
-
-    def _report(self, node: ast.AST, rule: str, message: str) -> None:
-        self.diagnostics.append(
-            Diagnostic(self.path, node.lineno, node.col_offset, rule, message)
-        )
-
-    # -- imports (rng-module-state + alias bookkeeping) ----------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            root = alias.name.split(".")[0]
-            local = (alias.asname or alias.name).split(".")[0]
-            if root == "random":
-                self._report(
-                    node,
-                    "rng-module-state",
-                    "the stdlib 'random' module is global mutable state; "
-                    "draw randomness from repro.common.rng.SeedSequencer",
-                )
-            elif root == "numpy":
-                self._numpy_aliases.add(local)
-            elif root == "time":
-                self._time_aliases.add(local)
-            elif root == "datetime":
-                self._datetime_mod_aliases.add(local)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        root = module.split(".")[0]
-        if root == "random":
-            self._report(
-                node,
-                "rng-module-state",
-                "importing from 'random' pulls global RNG state; use "
-                "repro.common.rng.SeedSequencer",
-            )
-        elif module in ("numpy.random", "numpy"):
-            for alias in node.names:
-                if module == "numpy" and alias.name == "random":
-                    self._numpy_aliases.add(alias.asname or "random")
-                if module == "numpy.random":
-                    self._check_np_random_name(node, alias.name)
-        elif root == "time" and not self._allow_wall_clock:
-            for alias in node.names:
-                if alias.name in _TIME_FUNCS:
-                    self._report(
-                        node,
-                        "wall-clock",
-                        f"'from time import {alias.name}' reads wall-clock "
-                        f"time; simulation results must not depend on it",
-                    )
-        elif root == "datetime":
-            for alias in node.names:
-                if alias.name == "datetime":
-                    self._datetime_cls_aliases.add(alias.asname or alias.name)
-                if alias.name == "date":
-                    self._datetime_cls_aliases.add(alias.asname or alias.name)
-        self.generic_visit(node)
-
-    def _check_np_random_name(self, node: ast.AST, name: str) -> None:
-        if name in _NP_RANDOM_TYPES:
-            return
-        if name == "default_rng" and self._allow_rng_construction:
-            return
-        self._report(
-            node,
-            "rng-module-state",
-            f"'numpy.random.{name}' bypasses SeedSequencer; request a "
-            f"named stream instead",
-        )
-
-    # -- attribute access (np.random.* / time.* / datetime.*) ----------
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        # np.random.<name>
-        value = node.value
-        if (
-            isinstance(value, ast.Attribute)
-            and value.attr == "random"
-            and isinstance(value.value, ast.Name)
-            and value.value.id in self._numpy_aliases
-            and not isinstance(node.ctx, ast.Store)
-        ):
-            self._check_np_random_name(node, node.attr)
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if (
-            self._check_print
-            and isinstance(func, ast.Name)
-            and func.id == "print"
-        ):
-            self._report(
-                node,
-                "no-print",
-                "print() in library code bypasses --quiet/--verbose; "
-                "log via repro.obs.logging.get_logger(__name__)",
-            )
-        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-            owner, attr = func.value.id, func.attr
-            if (
-                owner in self._time_aliases
-                and attr in _TIME_FUNCS
-                and not self._allow_wall_clock
-            ):
-                self._report(
-                    node,
-                    "wall-clock",
-                    f"'{owner}.{attr}()' reads wall-clock time; simulation "
-                    f"results must not depend on it",
-                )
-            if (
-                owner in self._datetime_cls_aliases
-                and attr in _DATETIME_FUNCS
-                and not self._allow_wall_clock
-            ):
-                self._report(
-                    node,
-                    "wall-clock",
-                    f"'{owner}.{attr}()' reads wall-clock time; simulation "
-                    f"results must not depend on it",
-                )
-        # datetime.datetime.now() / datetime.date.today()
-        if (
-            isinstance(func, ast.Attribute)
-            and isinstance(func.value, ast.Attribute)
-            and isinstance(func.value.value, ast.Name)
-            and func.value.value.id in self._datetime_mod_aliases
-            and func.value.attr in ("datetime", "date")
-            and func.attr in _DATETIME_FUNCS
-            and not self._allow_wall_clock
-        ):
-            self._report(
-                node,
-                "wall-clock",
-                f"'datetime.{func.value.attr}.{func.attr}()' reads "
-                f"wall-clock time; simulation results must not depend on it",
-            )
-        self.generic_visit(node)
-
-    # -- mutable defaults ----------------------------------------------
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    def _check_defaults(self, node) -> None:
-        defaults = list(node.args.defaults) + [
-            d for d in node.args.kw_defaults if d is not None
-        ]
-        for default in defaults:
-            if self._is_mutable_literal(default):
-                self._report(
-                    default,
-                    "mutable-default",
-                    f"mutable default argument in '{node.name}()' is shared "
-                    f"across calls; default to None and build inside",
-                )
-
-    @staticmethod
-    def _is_mutable_literal(node: ast.AST) -> bool:
-        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
-                             ast.DictComp, ast.SetComp)):
-            return True
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in ("list", "dict", "set", "bytearray")
-            and not node.args
-            and not node.keywords
-        )
-
-    # -- float equality ------------------------------------------------
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left] + list(node.comparators)
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            if self._is_float_constant(left) or self._is_float_constant(right):
-                self._report(
-                    node,
-                    "float-eq",
-                    "'==' against a float constant depends on rounding; "
-                    "compare with a tolerance (math.isclose)",
-                )
-                break
-        self.generic_visit(node)
-
-    @staticmethod
-    def _is_float_constant(node: ast.AST) -> bool:
-        if isinstance(node, ast.Constant) and isinstance(node.value, float):
-            return True
-        return (
-            isinstance(node, ast.UnaryOp)
-            and isinstance(node.op, (ast.UAdd, ast.USub))
-            and isinstance(node.operand, ast.Constant)
-            and isinstance(node.operand.value, float)
-        )
+#: Historical name for one lint finding; same shape, same rendering.
+Diagnostic = Finding
 
 
 def lint_source(source: str, path: str) -> List[Diagnostic]:
     """Lint one module's source text; pragma-suppressed findings drop."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path, exc.lineno or 1, exc.offset or 0,
-                "syntax-error", exc.msg or "syntax error",
-            )
-        ]
-    visitor = _Visitor(path)
-    visitor.visit(tree)
-    lines = source.splitlines()
-    kept = []
-    for diagnostic in visitor.diagnostics:
-        line = lines[diagnostic.line - 1] if diagnostic.line <= len(lines) else ""
-        if diagnostic.rule in _disabled_rules(line):
-            continue
-        kept.append(diagnostic)
-    kept.sort(key=lambda d: (d.path, d.line, d.col))
-    return kept
+    project = ProjectModel.from_sources([(path, source)])
+    return run_passes(project, [LintPass()])
 
 
 def lint_file(path: Path) -> List[Diagnostic]:
     return lint_source(path.read_text(encoding="utf-8"), str(path))
 
 
-def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
-    for path in paths:
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
-
-
 def lint_paths(paths: Iterable[Path]) -> List[Diagnostic]:
-    diagnostics: List[Diagnostic] = []
-    for file_path in iter_python_files(paths):
-        diagnostics.extend(lint_file(file_path))
-    return diagnostics
+    project = ProjectModel.from_paths(paths)
+    return run_passes(project, [LintPass()])
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="colt-lint",
-        description="Determinism lint for the CoLT reproduction repo.",
-    )
-    parser.add_argument(
-        "paths", nargs="+", type=Path,
-        help="files or directories to lint (directories recurse)",
-    )
-    parser.add_argument(
-        "--quiet", action="store_true",
-        help="suppress the per-diagnostic lines; only set the exit code",
-    )
-    args = parser.parse_args(argv)
-    for path in args.paths:
-        if not path.exists():
-            print(f"colt-lint: no such path: {path}", file=sys.stderr)
-            return 2
-    diagnostics = lint_paths(args.paths)
-    if not args.quiet:
-        for diagnostic in diagnostics:
-            print(diagnostic.render())
-        if diagnostics:
-            print(f"colt-lint: {len(diagnostics)} diagnostic(s)")
-    return 1 if diagnostics else 0
+    from repro.analysis.static.cli import main as analyze_main
+
+    if argv is None:
+        argv = sys.argv[1:]
+    return analyze_main(["--passes", "lint", "--no-baseline", *argv])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,142 @@
+"""Checked-in baseline: CI fails only on *new* findings.
+
+The baseline (``tools/analysis_baseline.json``) records accepted
+findings by fingerprint (rule + path + line *text* + occurrence, so
+line-number drift does not resurface them) together with a one-line
+justification each -- the registry of deliberate exceptions the
+analyzers would otherwise flag forever.
+
+Semantics:
+
+* a finding whose fingerprint is baselined is *suppressed*;
+* a finding without one is *new* -- nonzero exit, CI fails;
+* a baseline entry matching nothing is *expired* -- reported so stale
+  entries cannot hide a future regression at the same spot;
+  ``--update-baseline`` drops expired entries and admits current
+  findings (keeping existing justifications).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.static.passes import Finding
+
+#: Justification placeholder ``--update-baseline`` writes; humans edit.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    line: int
+    justification: str
+
+
+@dataclass
+class MatchResult:
+    new: List[Tuple[Finding, str]]
+    suppressed: List[Tuple[Finding, str]]
+    expired: List[BaselineEntry]
+
+
+class Baseline:
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                fingerprint=str(entry["fingerprint"]),
+                rule=str(entry.get("rule", "")),
+                path=str(entry.get("path", "")),
+                line=int(entry.get("line", 0)),
+                justification=str(entry.get("justification", "")),
+            )
+            for entry in document.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "comment": (
+                "Accepted colt-analyze findings. Every entry needs a "
+                "one-line justification; run colt-analyze "
+                "--update-baseline to refresh fingerprints."
+            ),
+            "version": 1,
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "line": entry.line,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.line, e.rule)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def match(
+        self, findings: Sequence[Tuple[Finding, str]]
+    ) -> MatchResult:
+        by_fingerprint: Dict[str, BaselineEntry] = {
+            entry.fingerprint: entry for entry in self.entries
+        }
+        seen = set()
+        new: List[Tuple[Finding, str]] = []
+        suppressed: List[Tuple[Finding, str]] = []
+        for finding, fingerprint in findings:
+            if fingerprint in by_fingerprint:
+                seen.add(fingerprint)
+                suppressed.append((finding, fingerprint))
+            else:
+                new.append((finding, fingerprint))
+        expired = [
+            entry for entry in self.entries if entry.fingerprint not in seen
+        ]
+        return MatchResult(new=new, suppressed=suppressed, expired=expired)
+
+    def updated(
+        self,
+        findings: Sequence[Tuple[Finding, str]],
+        relpath_of: Optional[Dict[str, str]] = None,
+    ) -> "Baseline":
+        """New baseline admitting ``findings``, dropping expired entries.
+
+        Existing justifications are preserved by fingerprint; new
+        entries get :data:`TODO_JUSTIFICATION` for a human to replace.
+        """
+        relpath_of = relpath_of or {}
+        existing = {entry.fingerprint: entry for entry in self.entries}
+        entries = []
+        for finding, fingerprint in findings:
+            kept = existing.get(fingerprint)
+            entries.append(BaselineEntry(
+                fingerprint=fingerprint,
+                rule=finding.rule,
+                path=relpath_of.get(finding.path, finding.path).replace(
+                    "\\", "/"
+                ),
+                line=finding.line,
+                justification=(
+                    kept.justification if kept is not None
+                    else TODO_JUSTIFICATION
+                ),
+            ))
+        return Baseline(entries)

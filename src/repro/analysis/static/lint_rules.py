@@ -1,0 +1,324 @@
+"""The determinism lint rules, as a pass on the shared framework.
+
+The rule set, allow-lists, and messages are unchanged from the original
+single-file ``repro.analysis.lint`` (see its docstring for the why of
+each rule); only the plumbing moved: the AST visitor now emits
+:class:`~repro.analysis.static.passes.Finding` objects and is driven by
+:class:`LintPass` over a :class:`ProjectModel`, so the pragma and
+baseline machinery are shared with every other analyzer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from repro.analysis.static.model import ModuleInfo, ProjectModel
+from repro.analysis.static.passes import AnalysisPass, Finding
+
+#: Rule identifiers, in reporting order.
+RULES = (
+    "rng-module-state", "wall-clock", "mutable-default", "float-eq",
+    "no-print",
+)
+
+#: Files (matched by path suffix) where wall-clock reads are legal:
+#: CLI layers that print elapsed time but never serialize it, plus the
+#: tracer (its timestamps describe the run; they never feed results)
+#: and the watchdog (stall/memory monitoring is inherently about real
+#: time; nothing it measures reaches a SimulationResult).
+WALL_CLOCK_ALLOW = (
+    "tools/lint.py",
+    "tools/calibrate.py",
+    "tools/bench_runner.py",
+    "tools/obs_report.py",
+    # Drives kill/resume subprocesses: polls for table files and
+    # signal-delivery windows; nothing feeds into results.
+    "tools/chaos_check.py",
+    "repro/experiments/__main__.py",
+    "repro/obs/trace.py",
+    "repro/sim/watchdog.py",
+)
+
+#: Library files under ``repro/`` that are CLI front-ends in disguise
+#: (runnable via ``python -m``/console scripts) and may print directly.
+PRINT_ALLOW = (
+    "repro/analysis/lint.py",
+    "repro/analysis/determinism.py",
+    # colt-analyze's output layer.
+    "repro/analysis/static/cli.py",
+)
+
+#: The one module allowed to construct numpy Generators directly.
+RNG_CONSTRUCTION_ALLOW = ("repro/common/rng.py",)
+
+#: ``numpy.random`` attributes that are types/constructors handed around
+#: as annotations or factories, not hidden module state.
+_NP_RANDOM_TYPES = frozenset(
+    ("Generator", "BitGenerator", "SeedSequence", "RandomState")
+)
+
+#: Wall-clock callables, keyed by module alias.
+_TIME_FUNCS = frozenset(
+    ("time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+     "monotonic_ns", "process_time", "process_time_ns")
+)
+_DATETIME_FUNCS = frozenset(("now", "utcnow", "today"))
+
+
+def _path_matches(path: str, suffixes: Sequence[str]) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in suffixes)
+
+
+class _Visitor(ast.NodeVisitor):
+    """Collects raw findings for one module (pragmas applied later)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diagnostics: List[Finding] = []
+        self._allow_wall_clock = _path_matches(path, WALL_CLOCK_ALLOW)
+        self._allow_rng_construction = _path_matches(
+            path, RNG_CONSTRUCTION_ALLOW
+        )
+        normalized = path.replace("\\", "/")
+        self._check_print = (
+            "repro/" in normalized
+            and not normalized.endswith("__main__.py")
+            and not _path_matches(path, PRINT_ALLOW)
+        )
+        # module-alias tracking: which local names refer to numpy /
+        # time / datetime, so aliased imports cannot dodge the rules.
+        self._numpy_aliases: set = set()
+        self._time_aliases: set = set()
+        self._datetime_mod_aliases: set = set()
+        self._datetime_cls_aliases: set = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.diagnostics.append(
+            Finding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    # -- imports (rng-module-state + alias bookkeeping) ----------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            local = (alias.asname or alias.name).split(".")[0]
+            if root == "random":
+                self._report(
+                    node,
+                    "rng-module-state",
+                    "the stdlib 'random' module is global mutable state; "
+                    "draw randomness from repro.common.rng.SeedSequencer",
+                )
+            elif root == "numpy":
+                self._numpy_aliases.add(local)
+            elif root == "time":
+                self._time_aliases.add(local)
+            elif root == "datetime":
+                self._datetime_mod_aliases.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.split(".")[0]
+        if root == "random":
+            self._report(
+                node,
+                "rng-module-state",
+                "importing from 'random' pulls global RNG state; use "
+                "repro.common.rng.SeedSequencer",
+            )
+        elif module in ("numpy.random", "numpy"):
+            for alias in node.names:
+                if module == "numpy" and alias.name == "random":
+                    self._numpy_aliases.add(alias.asname or "random")
+                if module == "numpy.random":
+                    self._check_np_random_name(node, alias.name)
+        elif root == "time" and not self._allow_wall_clock:
+            for alias in node.names:
+                if alias.name in _TIME_FUNCS:
+                    self._report(
+                        node,
+                        "wall-clock",
+                        f"'from time import {alias.name}' reads wall-clock "
+                        f"time; simulation results must not depend on it",
+                    )
+        elif root == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self._datetime_cls_aliases.add(alias.asname or alias.name)
+                if alias.name == "date":
+                    self._datetime_cls_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _check_np_random_name(self, node: ast.AST, name: str) -> None:
+        if name in _NP_RANDOM_TYPES:
+            return
+        if name == "default_rng" and self._allow_rng_construction:
+            return
+        self._report(
+            node,
+            "rng-module-state",
+            f"'numpy.random.{name}' bypasses SeedSequencer; request a "
+            f"named stream instead",
+        )
+
+    # -- attribute access (np.random.* / time.* / datetime.*) ----------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # np.random.<name>
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy_aliases
+            and not isinstance(node.ctx, ast.Store)
+        ):
+            self._check_np_random_name(node, node.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._check_print
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._report(
+                node,
+                "no-print",
+                "print() in library code bypasses --quiet/--verbose; "
+                "log via repro.obs.logging.get_logger(__name__)",
+            )
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner, attr = func.value.id, func.attr
+            if (
+                owner in self._time_aliases
+                and attr in _TIME_FUNCS
+                and not self._allow_wall_clock
+            ):
+                self._report(
+                    node,
+                    "wall-clock",
+                    f"'{owner}.{attr}()' reads wall-clock time; simulation "
+                    f"results must not depend on it",
+                )
+            if (
+                owner in self._datetime_cls_aliases
+                and attr in _DATETIME_FUNCS
+                and not self._allow_wall_clock
+            ):
+                self._report(
+                    node,
+                    "wall-clock",
+                    f"'{owner}.{attr}()' reads wall-clock time; simulation "
+                    f"results must not depend on it",
+                )
+        # datetime.datetime.now() / datetime.date.today()
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self._datetime_mod_aliases
+            and func.value.attr in ("datetime", "date")
+            and func.attr in _DATETIME_FUNCS
+            and not self._allow_wall_clock
+        ):
+            self._report(
+                node,
+                "wall-clock",
+                f"'datetime.{func.value.attr}.{func.attr}()' reads "
+                f"wall-clock time; simulation results must not depend on it",
+            )
+        self.generic_visit(node)
+
+    # -- mutable defaults ----------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable_literal(default):
+                self._report(
+                    default,
+                    "mutable-default",
+                    f"mutable default argument in '{node.name}()' is shared "
+                    f"across calls; default to None and build inside",
+                )
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray")
+            and not node.args
+            and not node.keywords
+        )
+
+    # -- float equality ------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._is_float_constant(left) or self._is_float_constant(right):
+                self._report(
+                    node,
+                    "float-eq",
+                    "'==' against a float constant depends on rounding; "
+                    "compare with a tolerance (math.isclose)",
+                )
+                break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_float_constant(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        return (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.UAdd, ast.USub))
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, float)
+        )
+
+
+class LintPass(AnalysisPass):
+    """The five determinism rules plus syntax-error reporting."""
+
+    name = "lint"
+    rules = RULES + ("syntax-error",)
+
+    def run(self, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            findings.extend(self._run_module(module))
+        return findings
+
+    @staticmethod
+    def _run_module(module: ModuleInfo) -> List[Finding]:
+        if module.tree is None:
+            line, col, message = module.syntax_error or (1, 0, "syntax error")
+            return [Finding(module.path, line, col, "syntax-error", message)]
+        visitor = _Visitor(module.path)
+        visitor.visit(module.tree)
+        return visitor.diagnostics

@@ -1,0 +1,131 @@
+"""Pass framework: findings, pragmas, fingerprints, and the runner.
+
+Every analyzer -- the refactored lint rules and the new cross-file
+passes -- produces :class:`Finding` objects and is driven through
+:func:`run_passes`, which applies the one shared pragma implementation
+(``# colt-lint: disable=<rule>[,<rule>...]`` / ``disable=all``) before
+anything reaches the user, a baseline file, or CI.
+
+Fingerprints identify a finding across unrelated edits: they hash the
+rule, the repo-relative path, the *text* of the flagged line, and an
+occurrence index -- not the line number -- so baselined findings do not
+resurface every time code above them moves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.analysis.static.model import ModuleInfo, ProjectModel
+
+#: One pragma grammar for every pass (kept from the original lint).
+_PRAGMA = re.compile(r"#\s*colt-lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, formatted ``path:line:col: rule: message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class AnalysisPass:
+    """Base class: a named pass producing findings over a project."""
+
+    #: Pass name, as selected by ``colt-analyze --passes``.
+    name: str = ""
+    #: Rule identifiers this pass may emit (for SARIF rule metadata).
+    rules: Tuple[str, ...] = ()
+
+    def run(self, project: ProjectModel) -> List[Finding]:
+        raise NotImplementedError
+
+
+def disabled_rules(source_line: str) -> FrozenSet[str]:
+    """Rule names suppressed by a pragma on ``source_line``.
+
+    ``disable=all`` yields a set containing ``"all"``; callers must
+    treat membership of either the rule or ``"all"`` as suppression.
+    """
+    match = _PRAGMA.search(source_line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def is_suppressed(finding: Finding, module: ModuleInfo) -> bool:
+    """True when a pragma on the finding's line disables its rule."""
+    if finding.line < 1 or finding.line > len(module.lines):
+        return False
+    names = disabled_rules(module.lines[finding.line - 1])
+    return finding.rule in names or "all" in names
+
+
+def run_passes(
+    project: ProjectModel, passes: Sequence[AnalysisPass]
+) -> List[Finding]:
+    """Run ``passes`` over ``project``; pragma-suppressed findings drop."""
+    findings: List[Finding] = []
+    for analysis_pass in passes:
+        findings.extend(analysis_pass.run(project))
+    kept: List[Finding] = []
+    for finding in findings:
+        module = project.module_for_path(finding.path)
+        if module is not None and is_suppressed(finding, module):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def fingerprint_findings(
+    project: ProjectModel, findings: Sequence[Finding]
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    The hash covers ``rule | repo-relative path | stripped line text |
+    occurrence index`` (the index disambiguates several identical lines
+    flagged by the same rule in one file).
+    """
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    result: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        module = project.module_for_path(finding.path)
+        relpath = module.relpath if module is not None else finding.path
+        relpath = relpath.replace("\\", "/")
+        if (
+            module is not None
+            and 1 <= finding.line <= len(module.lines)
+        ):
+            text = module.lines[finding.line - 1].strip()
+        else:
+            text = ""
+        key = (finding.rule, relpath, text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}|{relpath}|{text}|{index}".encode("utf-8")
+        ).hexdigest()[:16]
+        result.append((finding, digest))
+    return result

@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 and JSON serialization for findings.
+
+SARIF is the interchange format CI artifact viewers and code-scanning
+UIs consume; the subset emitted here (tool driver + rules + results
+with physical locations and fingerprints) round-trips losslessly
+through :func:`from_sarif`, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.static.passes import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "colt-analyze"
+
+
+def to_sarif(
+    findings: Sequence[Tuple[Finding, Optional[str]]],
+    rule_help: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    """SARIF document for ``(finding, fingerprint-or-None)`` pairs."""
+    rule_help = rule_help or {}
+    rule_ids = sorted({finding.rule for finding, _ in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": rule_help.get(rule_id, rule_id),
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results: List[Dict[str, object]] = []
+    for finding, fingerprint in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if fingerprint is not None:
+            result["partialFingerprints"] = {"coltAnalyze/v1": fingerprint}
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def from_sarif(document: Dict[str, object]) -> List[Finding]:
+    """Findings back out of a :func:`to_sarif` document."""
+    findings: List[Finding] = []
+    for run in document.get("runs", []):  # type: ignore[union-attr]
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location.get("region", {})
+            findings.append(
+                Finding(
+                    path=location["artifactLocation"]["uri"],
+                    line=int(region.get("startLine", 1)),
+                    col=int(region.get("startColumn", 1)) - 1,
+                    rule=str(result.get("ruleId", "")),
+                    message=str(result["message"]["text"]),
+                )
+            )
+    return findings
+
+
+def to_json(
+    findings: Sequence[Tuple[Finding, Optional[str]]],
+) -> Dict[str, object]:
+    """Plain-JSON document (``colt-analyze --format json``)."""
+    entries = []
+    for finding, fingerprint in findings:
+        entry = finding.to_dict()
+        entry["fingerprint"] = fingerprint
+        entries.append(entry)
+    return {
+        "tool": TOOL_NAME,
+        "version": 1,
+        "findings": entries,
+    }
+
+
+def from_json(document: Dict[str, object]) -> List[Finding]:
+    findings = []
+    for entry in document.get("findings", []):  # type: ignore[union-attr]
+        findings.append(
+            Finding(
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                col=int(entry["col"]),
+                rule=str(entry["rule"]),
+                message=str(entry["message"]),
+            )
+        )
+    return findings

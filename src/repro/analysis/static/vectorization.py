@@ -1,0 +1,355 @@
+"""Vectorization-readiness report over the replay/MMU hot loops.
+
+ROADMAP item 1 wants the per-access replay loop replaced by a
+vectorized engine. The honest first step is a statement-level worklist:
+which lines of the hot paths are already expressible as array ops,
+which are guards that become batched validity checks, and which are
+*blocking* -- loop-carried scalar state or side-effecting calls into
+stateful objects (TLBs, caches, counters) that need epoch/batching
+redesign before `np` can take over.
+
+Classification (per top-level statement of each target loop/body):
+
+``vectorizable``
+    Pure data movement over the scenario arrays: casts, indexing,
+    tuple/arithmetic on locals. Translates directly to array ops.
+
+``guard``
+    A conditional raise. Vectorizes as a batched validity check
+    (``np.all`` over the window) before the kernel runs.
+
+``loop-carried``
+    Reads or writes scalar state threaded across iterations (event
+    cursors, inner event-pump loops). Needs a prefix-scan or epoch
+    split.
+
+``side-effecting``
+    Calls into stateful simulation objects (``mmu.access``,
+    ``caches.access_pte``, counter increments). These are the real
+    blockers: the object's internal state serializes the loop.
+
+The report is committed at ``results/analysis/vectorization_replay.md``
+and kept fresh by ``colt-analyze --check-docs``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.static.model import ModuleInfo, ProjectModel
+
+#: (module suffix, qualified function, description, analyze_loop)
+#: analyze_loop=True finds the outermost For loop and classifies its
+#: body; False classifies the function body itself (per-call work).
+TARGETS: Tuple[Tuple[str, str, str, bool], ...] = (
+    (
+        "repro/sim/replay.py", "replay_scenario",
+        "per-access replay loop (one iteration per simulated access)",
+        True,
+    ),
+    (
+        "repro/sim/replay.py", "ReplayWalker.walk",
+        "walk decode (runs once per TLB miss)", False,
+    ),
+    (
+        "repro/core/mmu.py", "MMU.access",
+        "MMU front door (runs once per access)", False,
+    ),
+)
+
+#: Callables that are pure data movement when applied to locals.
+_PURE_CALLS = frozenset(
+    ("int", "float", "bool", "tuple", "len", "min", "max", "range",
+     "enumerate", "zip", "abs", "divmod")
+)
+#: Receiver names whose methods are pure (array/maths namespaces).
+_PURE_RECEIVERS = frozenset(("np", "numpy", "math"))
+
+
+@dataclass(frozen=True)
+class StatementReport:
+    line: int
+    code: str
+    classification: str  # vectorizable | guard | loop-carried | side-effecting
+    reason: str
+
+    @property
+    def blocking(self) -> bool:
+        return self.classification in ("loop-carried", "side-effecting")
+
+
+@dataclass(frozen=True)
+class TargetReport:
+    target: str
+    description: str
+    found: bool
+    statements: Tuple[StatementReport, ...] = ()
+
+    @property
+    def blocking(self) -> Tuple[StatementReport, ...]:
+        return tuple(s for s in self.statements if s.blocking)
+
+
+def _first_line(module: ModuleInfo, node: ast.AST) -> str:
+    line = getattr(node, "lineno", 0)
+    if 1 <= line <= len(module.lines):
+        text = module.lines[line - 1].strip()
+        return text if len(text) <= 72 else text[:69] + "..."
+    return "<source unavailable>"
+
+
+def _method_calls(stmt: ast.AST) -> List[str]:
+    """Dotted names of impure calls inside one statement."""
+    calls: List[str] = []
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id not in _PURE_CALLS:
+                calls.append(func.id)
+        elif isinstance(func, ast.Attribute):
+            receiver: Optional[str] = None
+            if isinstance(func.value, ast.Name):
+                receiver = func.value.id
+            elif (
+                isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+            ):
+                receiver = f"{func.value.value.id}.{func.value.attr}"
+            if receiver is not None and receiver.split(".")[0] in (
+                _PURE_RECEIVERS
+            ):
+                continue
+            calls.append(f"{receiver or '<expr>'}.{func.attr}")
+    return calls
+
+
+def _names(node: ast.AST, ctx_type: type) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ctx_type)
+    }
+
+
+def _carried_names(body: Sequence[ast.stmt], loop_vars: Set[str]) -> Set[str]:
+    """Names whose value crosses iterations: written by the body AND
+    read before the body (re)writes them (upward-exposed), so each
+    iteration sees the previous one's value. A same-iteration temporary
+    (``v = int(i)`` then used below) is *not* carried."""
+    written_above: Set[str] = set()
+    exposed: Set[str] = set()
+    for stmt in body:
+        exposed |= _names(stmt, ast.Load) - written_above
+        written_above |= _names(stmt, ast.Store)
+    return (exposed & written_above) - loop_vars
+
+
+def _contains_raise(stmt: ast.stmt) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(stmt))
+
+
+def _attribute_writes(stmt: ast.stmt) -> List[str]:
+    """Dotted targets of attribute assignments (``walker.cursor = i``)."""
+    writes: List[str] = []
+    for node in ast.walk(stmt):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                writes.append(f"{target.value.id}.{target.attr}")
+    return writes
+
+
+def classify_body(
+    module: ModuleInfo,
+    body: Sequence[ast.stmt],
+    loop_vars: Optional[Set[str]] = None,
+    bound_methods: Optional[Dict[str, str]] = None,
+    track_carried: bool = True,
+) -> List[StatementReport]:
+    loop_vars = loop_vars or set()
+    bound_methods = bound_methods or {}
+    # Local dataflow only means "carried" inside a loop body; for a
+    # per-call function body, plain locals are not cross-iteration state.
+    carried = _carried_names(body, loop_vars) if track_carried else set()
+    reports: List[StatementReport] = []
+    for stmt in body:
+        # Skip docstrings.
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        reports.append(
+            _classify_statement(module, stmt, carried, bound_methods)
+        )
+    return reports
+
+
+def _classify_statement(
+    module: ModuleInfo,
+    stmt: ast.stmt,
+    carried: Set[str],
+    bound_methods: Dict[str, str],
+) -> StatementReport:
+    code = _first_line(module, stmt)
+    line = stmt.lineno
+    if isinstance(stmt, ast.While):
+        return StatementReport(
+            line, code, "loop-carried",
+            "data-dependent inner loop (event pump); must become an "
+            "epoch boundary that splits the access window",
+        )
+    if isinstance(stmt, (ast.If, ast.Assert)) and _contains_raise(stmt):
+        return StatementReport(
+            line, code, "guard",
+            "conditional raise; batch as a vectorized validity check "
+            "over the whole window",
+        )
+    attr_writes = _attribute_writes(stmt)
+    calls = [bound_methods.get(c, c) for c in _method_calls(stmt)]
+    impure = [c for c in calls if "." in c or c not in _PURE_CALLS]
+    if impure or attr_writes:
+        reasons = []
+        if impure:
+            reasons.append(
+                "calls into stateful/object code: "
+                + ", ".join(sorted(set(impure)))
+            )
+        if attr_writes:
+            reasons.append(
+                "writes object attribute(s): "
+                + ", ".join(sorted(set(attr_writes)))
+            )
+        return StatementReport(
+            line, code, "side-effecting", "; ".join(reasons)
+        )
+    touched = (
+        (_names(stmt, ast.Store) | _names(stmt, ast.Load)) & carried
+    )
+    if touched:
+        return StatementReport(
+            line, code, "loop-carried",
+            "threads scalar state across iterations: "
+            + ", ".join(sorted(touched)),
+        )
+    return StatementReport(
+        line, code, "vectorizable",
+        "pure data movement over locals/arrays",
+    )
+
+
+def _find_function(
+    project: ProjectModel, module_suffix: str, qualname: str
+) -> Optional[Tuple[ModuleInfo, ast.AST]]:
+    for module in project.modules_matching((module_suffix,)):
+        for key, info in project.functions.items():
+            if info.module is module and key[1] == qualname:
+                return module, info.node
+    return None
+
+
+def _bound_method_aliases(fn_node: ast.AST) -> Dict[str, str]:
+    """Pre-loop ``access = mmu.access`` style bindings."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+        ):
+            aliases[node.targets[0].id] = (
+                f"{node.value.value.id}.{node.value.attr}"
+            )
+    return aliases
+
+
+def analyze_target(
+    project: ProjectModel,
+    module_suffix: str,
+    qualname: str,
+    description: str,
+    analyze_loop: bool,
+) -> TargetReport:
+    found = _find_function(project, module_suffix, qualname)
+    target_name = f"{module_suffix}::{qualname}"
+    if found is None:
+        return TargetReport(target_name, description, found=False)
+    module, fn_node = found
+    if analyze_loop:
+        loop = next(
+            (n for n in ast.walk(fn_node) if isinstance(n, ast.For)), None
+        )
+        if loop is None:
+            return TargetReport(target_name, description, found=False)
+        loop_vars = _names(loop.target, ast.Store)
+        statements = classify_body(
+            module, loop.body, loop_vars, _bound_method_aliases(fn_node)
+        )
+    else:
+        assert isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        statements = classify_body(
+            module, fn_node.body, set(), _bound_method_aliases(fn_node),
+            track_carried=False,
+        )
+    return TargetReport(
+        target_name, description, found=True, statements=tuple(statements)
+    )
+
+
+def analyze_project(project: ProjectModel) -> List[TargetReport]:
+    return [
+        analyze_target(project, suffix, qualname, description, analyze_loop)
+        for suffix, qualname, description, analyze_loop in TARGETS
+    ]
+
+
+def render_report(reports: Sequence[TargetReport]) -> str:
+    """Deterministic markdown for the committed report artifact."""
+    lines: List[str] = [
+        "# Vectorization-readiness: replay + MMU hot loops",
+        "",
+        "Generated by `colt-analyze --vectorization-report` (do not edit; "
+        "CI's `--check-docs` regenerates and diffs this file).",
+        "",
+        "Statement classes: **vectorizable** (array-ready), **guard** "
+        "(batched validity check), **loop-carried** / **side-effecting** "
+        "(blocking; needs epoch or batching redesign).",
+        "",
+    ]
+    for report in reports:
+        lines.append(f"## `{report.target}`")
+        lines.append("")
+        lines.append(report.description)
+        lines.append("")
+        if not report.found:
+            lines.append("*Target not found in this tree.*")
+            lines.append("")
+            continue
+        lines.append("| line | statement | class | why |")
+        lines.append("| --- | --- | --- | --- |")
+        for stmt in report.statements:
+            code = stmt.code.replace("|", "\\|")
+            reason = stmt.reason.replace("|", "\\|")
+            lines.append(
+                f"| {stmt.line} | `{code}` | {stmt.classification} "
+                f"| {reason} |"
+            )
+        blocking = report.blocking
+        lines.append("")
+        lines.append(
+            f"**Blocking statements: {len(blocking)} of "
+            f"{len(report.statements)}.**"
+        )
+        for stmt in blocking:
+            lines.append(f"- line {stmt.line}: `{stmt.code}` -- {stmt.reason}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -100,7 +100,12 @@ def _run_armed(fn, args, attempt, timeout_s, dump_dir):
         path = Path(dump_dir) / f"task-{os.getpid()}.txt"
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = path.open("a", encoding="utf-8")
-    except OSError:
+    except OSError as exc:
+        # The task still runs; only the post-mortem dump is lost, and
+        # that degradation must be visible, not silent.
+        _LOG.warning(
+            "deadline stack dumps disabled for this task: %s", exc
+        )
         return fn(*args, attempt)
     try:
         faulthandler.dump_traceback_later(

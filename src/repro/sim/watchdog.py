@@ -272,11 +272,13 @@ class Watchdog:
     @property
     def degradation(self) -> int:
         """Current memory-pressure rung (``DEGRADE_*``)."""
-        return self._degradation
+        with self._lock:
+            return self._degradation
 
     def should_abort(self) -> bool:
         """True once the ladder is exhausted: give up cleanly now."""
-        return self._abort
+        with self._lock:
+            return self._abort
 
     # ------------------------------------------------------------------
     # Monitor internals.
@@ -331,16 +333,18 @@ class Watchdog:
             _LOG.warning("could not write stall stack dump: %s", exc)
             return None
         self.counters.increment("stack_dumps")
-        self.last_dump_path = path
+        with self._lock:
+            self.last_dump_path = path
         return path
 
     def _check_memory(self) -> None:
-        if self.mem_budget_bytes is None or self._abort:
+        if self.mem_budget_bytes is None or self.should_abort():
             return
         rss = self._rss_fn()
         if rss is None:
             return
-        self.last_rss_bytes = rss
+        with self._lock:
+            self.last_rss_bytes = rss
         if rss <= self.mem_budget_bytes:
             return
         self.counters.increment("mem_breaches")
@@ -348,8 +352,9 @@ class Watchdog:
 
     def _escalate(self, rss: int) -> None:
         """Climb one rung of the degradation ladder per breach-poll."""
-        self._degradation = min(self._degradation + 1, DEGRADE_ABORT)
-        rung = self._degradation
+        with self._lock:
+            self._degradation = min(self._degradation + 1, DEGRADE_ABORT)
+            rung = self._degradation
         if rung == DEGRADE_SHRINK_POOL:
             self.counters.increment("pool_shrinks")
             action = "shrinking the worker pool"
@@ -358,7 +363,8 @@ class Watchdog:
             action = "disabling batch prefetch"
         else:
             self.counters.increment("budget_aborts")
-            self._abort = True
+            with self._lock:
+                self._abort = True
             action = "requesting a clean abort"
         tracer = current_tracer()
         if tracer is not None:

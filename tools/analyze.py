@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Repo-root entry point for the project-wide static analysis.
+
+Equivalent to the ``colt-analyze`` console script, but runnable straight
+from a checkout with no install step:
+
+    python tools/analyze.py src tools
+    python tools/analyze.py --check-docs
+    python tools/analyze.py src tools --format sarif --output out.sarif
+
+See ``repro.analysis.static`` for the pass framework and analyzers.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.static.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
