@@ -137,6 +137,16 @@ KNOBS: Tuple[EnvKnob, ...] = (
         "directory for watchdog stall / task-deadline stack dumps",
     ),
     EnvKnob(
+        "COLT_ENGINE", "scalar", "repro/sim/engine/__init__.py",
+        "--engine",
+        "replay engine: 'scalar' oracle or epoch-batched 'vector' "
+        "(bit-identical results)",
+    ),
+    EnvKnob(
+        "COLT_EPOCH_MAX", "4096", "repro/sim/engine/__init__.py", None,
+        "vector engine: max accesses per epoch coverage scan",
+    ),
+    EnvKnob(
         "REPRO_SCALE", "default", "repro/experiments/scale.py", None,
         "experiment scale preset: quick / default / full",
     ),

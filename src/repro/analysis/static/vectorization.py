@@ -57,6 +57,17 @@ TARGETS: Tuple[Tuple[str, str, str, bool], ...] = (
         "repro/core/mmu.py", "MMU.access",
         "MMU front door (runs once per access)", False,
     ),
+    (
+        "repro/sim/engine/vector.py", "scan_window",
+        "vector engine: one epoch's TLB coverage scan (the array "
+        "program the blocking statements above were redesigned into)",
+        False,
+    ),
+    (
+        "repro/sim/engine/records.py", "decode_records",
+        "vector engine: batched walk-record decode (adjacency chains "
+        "and per-slot run extents as whole-table array ops)", False,
+    ),
 )
 
 #: Callables that are pure data movement when applied to locals.

@@ -1,0 +1,94 @@
+"""Batched decode of a captured scenario's walk-outcome records.
+
+``ReplayWalker.walk`` decodes one record row per TLB miss: translation,
+walk path, and the 8-PTE cache-line window whose contiguity run the
+Coalescing Logic inspects (``repro.core.coalescing``). The vectorized
+engine decodes the *whole* record table once, as array ops -- including
+the per-slot maximal contiguous runs, so a fill's coalescible run is a
+precomputed ``[run_lo, run_hi]`` slot interval instead of a per-miss
+left/right growth loop over ``Translation`` objects.
+
+Contiguity matches ``Translation.is_contiguous_with`` exactly: adjacent
+slots chain when both are mapped, their PFNs advance together, and
+their attribute bits agree modulo the hardware-managed ACCESSED/DIRTY
+bits (``PageAttributes.coalescing_key``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.common.types import PageAttributes
+from repro.sim.scenario import (
+    _LINE_ATTR_BASE,
+    _LINE_PFN_BASE,
+    _MASK_COLUMN,
+    _PATH_BASE,
+)
+
+#: Attribute bits that must match for two translations to coalesce --
+#: the integer form of ``PageAttributes.coalescing_key``'s mask (the
+#: IntFlag inversion is bounded to the defined flag universe, so this is
+#: *not* ``~24``).
+_KEY_MASK = int(~(PageAttributes.ACCESSED | PageAttributes.DIRTY))
+
+
+def decode_records(records):
+    """Decode every record row into per-slot arrays, as pure array ops.
+
+    Returns ``(pfn, attr, is_sp, levels, path, valid, line_pfn,
+    line_attr, run_lo, run_hi)`` where ``run_lo[r, s]`` / ``run_hi[r, s]``
+    are the first/last slot of the maximal contiguous run containing
+    slot ``s`` of row ``r`` (meaningful only where ``valid[r, s]``).
+    """
+    pfn = records[:, 0]
+    attr = records[:, 1]
+    is_sp = records[:, 2] != 0
+    levels = records[:, 3]
+    path = records[:, _PATH_BASE:_PATH_BASE + 4]
+    mask = records[:, _MASK_COLUMN]
+    slots = np.arange(8, dtype=np.int64)
+    valid = (mask[:, np.newaxis] >> slots[np.newaxis, :]) & 1 != 0
+    line_pfn = records[:, _LINE_PFN_BASE:_LINE_PFN_BASE + 8]
+    line_attr = records[:, _LINE_ATTR_BASE:_LINE_ATTR_BASE + 8]
+    key = line_attr & _KEY_MASK
+    adj = valid[:, :-1] & valid[:, 1:]
+    adj = adj & (line_pfn[:, 1:] == line_pfn[:, :-1] + 1)
+    adj = adj & (key[:, 1:] == key[:, :-1])
+    run_lo = np.zeros(valid.shape, dtype=np.int64)
+    run_hi = np.full(valid.shape, 7, dtype=np.int64)
+    for s in range(1, 8):
+        run_lo[:, s] = np.where(adj[:, s - 1], run_lo[:, s - 1], s)
+    for s in range(6, -1, -1):
+        run_hi[:, s] = np.where(adj[:, s], run_hi[:, s + 1], s)
+    return (
+        pfn, attr, is_sp, levels, path, valid, line_pfn, line_attr,
+        run_lo, run_hi,
+    )
+
+
+@dataclass
+class RecordTable:
+    """Decoded record table as plain Python lists for the lean miss path.
+
+    The arrays are bulk-converted once per replay; the per-miss fill
+    code then runs on native ints with no per-element ``np`` overhead.
+    """
+
+    pfn: List[int]
+    attr: List[int]
+    is_sp: List[bool]
+    levels: List[int]
+    path: List[List[int]]
+    valid: List[List[bool]]
+    line_pfn: List[List[int]]
+    line_attr: List[List[int]]
+    run_lo: List[List[int]]
+    run_hi: List[List[int]]
+
+    @classmethod
+    def from_records(cls, records) -> "RecordTable":
+        return cls(*(a.tolist() for a in decode_records(records)))

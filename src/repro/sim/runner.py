@@ -62,7 +62,7 @@ from repro.sim.metrics import (
     elimination_row,
     performance_row,
 )
-from repro.sim.replay import replay_scenario
+from repro.sim.engine import replay_with_engine, resolve_engine
 from repro.sim.scenario import CapturedScenario, capture_scenario, scenario_config
 from repro.sim.store import ResultStore
 from repro.sim.system import SimulationConfig, SimulationResult, simulate
@@ -114,12 +114,21 @@ def _replay_task(
     configs: Sequence[SimulationConfig],
     faults: Optional[FaultPlan],
     index: int,
+    engine: str,
     attempt: int = 0,
 ) -> Tuple[List[SimulationResult], Optional[ObsPayload]]:
-    """Worker entry point: replay one scenario under several configs."""
+    """Worker entry point: replay one scenario under several configs.
+
+    ``engine`` is threaded explicitly (rather than re-read from the
+    environment) so pool workers replay with the engine the parent
+    resolved, even when the parent was configured programmatically.
+    """
     if faults is not None:
         faults.fire("replay", index, attempt)
-    results = [replay_scenario(scenario, config) for config in configs]
+    results = [
+        replay_with_engine(scenario, config, engine=engine)
+        for config in configs
+    ]
     return results, _drain_if_pooled()
 
 
@@ -132,13 +141,16 @@ def _capture_context(config: SimulationConfig) -> Dict[str, object]:
     }
 
 
-def _replay_context(chunk: Sequence[SimulationConfig]) -> Dict[str, object]:
+def _replay_context(
+    chunk: Sequence[SimulationConfig], engine: str
+) -> Dict[str, object]:
     first = chunk[0]
     return {
         "stage": "replay",
         "benchmark": first.benchmark,
         "seed": first.seed,
         "designs": ",".join(config.design.value for config in chunk),
+        "engine": engine,
     }
 
 
@@ -173,6 +185,12 @@ class ExperimentRunner:
             polled between (and during) waves; a requested shutdown
             raises :class:`~repro.common.errors.ShutdownRequested` with
             every already-completed result checkpointed.
+        engine: replay engine name (``"scalar"`` or ``"vector"``);
+            ``None`` defers to ``COLT_ENGINE`` and then the scalar
+            default. The engine changes how replay outcomes are
+            computed, never what they are (the vector engine is
+            bit-identical to the scalar oracle), so it is deliberately
+            excluded from result cache and store keys.
         watchdog: optional :class:`repro.sim.watchdog.Watchdog`. The
             runner heartbeats it per completed task and honours its
             memory degradation ladder: rung 1 halves the worker pool,
@@ -191,8 +209,10 @@ class ExperimentRunner:
         faults: Optional[FaultPlan] = None,
         shutdown=None,
         watchdog: Optional[Watchdog] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self._jobs = max(1, int(jobs)) if jobs else 1
+        self._engine = resolve_engine(engine)
         self._store = store
         self._monolithic = monolithic
         self._policy = policy if policy is not None else RetryPolicy.from_env()
@@ -420,10 +440,13 @@ class ExperimentRunner:
             replay_tasks = [
                 TaskSpec(
                     fn=_replay_task,
-                    args=(self._scenarios[key], chunk, self._faults, index),
+                    args=(
+                        self._scenarios[key], chunk, self._faults, index,
+                        self._engine,
+                    ),
                     site="replay",
                     index=index,
-                    context=_replay_context(chunk),
+                    context=_replay_context(chunk, self._engine),
                 )
                 for index, (key, chunk) in enumerate(replay_chunks)
             ]
