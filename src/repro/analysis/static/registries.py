@@ -147,6 +147,17 @@ KNOBS: Tuple[EnvKnob, ...] = (
         "vector engine: max accesses per epoch coverage scan",
     ),
     EnvKnob(
+        "COLT_TELEMETRY_PORT", "(unset)", "repro/obs/serve.py",
+        "--telemetry-port",
+        "serve /metrics, /progress and /healthz over HTTP on this "
+        "127.0.0.1 port while a run is in flight (0 = ephemeral)",
+    ),
+    EnvKnob(
+        "COLT_HISTORY", "on", "repro/obs/history.py", None,
+        "set to 0/off to skip appending the per-run "
+        "colt-history-v1 record to <cache>/history/history.jsonl",
+    ),
+    EnvKnob(
         "REPRO_SCALE", "default", "repro/experiments/scale.py", None,
         "experiment scale preset: quick / default / full",
     ),
@@ -186,6 +197,17 @@ METRICS: Tuple[MetricDecl, ...] = (
     MetricDecl(
         "colt_watchdog", "counterset-prefix", "repro/sim/watchdog.py", True,
         "stalls, stack dumps, memory breaches, ladder escalations",
+    ),
+    MetricDecl(
+        "colt_watchdog_rss_bytes", "gauge", "repro/sim/watchdog.py", False,
+        "last sampled RSS of the process tree; live consumers are "
+        "/metrics and /progress, gauge ships in metrics.json only",
+    ),
+    MetricDecl(
+        "colt_watchdog_degradation", "gauge", "repro/sim/watchdog.py",
+        False,
+        "memory-pressure degradation rung (0 none .. 3 abort); "
+        "/metrics + metrics.json only",
     ),
     MetricDecl(
         "colt_kernel", "counterset-prefix", "repro/obs/hooks.py", False,

@@ -60,9 +60,17 @@ from repro.common.errors import (
     ShutdownRequested,
 )
 from repro.obs.export import write_chrome_trace, write_metrics_json
+from repro.obs.history import (
+    build_record,
+    append_record,
+    history_enabled,
+    history_path,
+)
+from repro.obs.live import get_progress
 from repro.obs.logging import configure_logging
 from repro.obs.registry import get_registry
 from repro.obs.report import RunReport
+from repro.obs.serve import TelemetryServer, telemetry_port_from_env
 from repro.obs.trace import PROFILE_ENV, TRACE_ENV, reset_tracing
 from repro.sim.campaign import (
     SHUTDOWN_EXIT_CODE,
@@ -157,6 +165,13 @@ def _build_parser() -> argparse.ArgumentParser:
              ".colt-cache/dumps)",
     )
     parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP on 127.0.0.1:PORT while "
+             "the run is in flight (/metrics Prometheus text, "
+             "/progress JSON, /healthz); 0 picks an ephemeral port; "
+             "implies --profile (default: $COLT_TELEMETRY_PORT or off)",
+    )
+    parser.add_argument(
         "--trace", nargs="?", const="colt-trace.json", default=None,
         metavar="FILE",
         help="record a Chrome/Perfetto trace to FILE (default "
@@ -201,7 +216,11 @@ def _enable_obs(args) -> bool:
     if args.trace is not None:
         os.environ[TRACE_ENV] = "1"
         active = True
-    if args.profile or args.report is not None:
+    if args.profile or args.report is not None or \
+            args.telemetry_port is not None:
+        # Telemetry implies profiling: /metrics and the history record
+        # need populated counters, and profiling is the CI-proven
+        # bit-identity-safe mode.
         os.environ[PROFILE_ENV] = "1"
         active = True
     if active:
@@ -257,11 +276,14 @@ def _print_summaries(args, runner: ExperimentRunner) -> None:
         print("resilience: " + ", ".join(parts))
 
 
-def _run_plain(args, experiments, scale, runner: ExperimentRunner) -> int:
+def _run_plain(args, experiments, scale, runner: ExperimentRunner,
+               phase_wall=None) -> int:
     for experiment in experiments:
         started = time.perf_counter()
         result = experiment.run(scale, runner)
         elapsed = time.perf_counter() - started
+        if phase_wall is not None:
+            phase_wall[experiment.id] = elapsed
         if not args.quiet:
             print(f"\n=== {experiment.title} ({elapsed:.1f}s) ===")
             print(result.format_table())
@@ -275,6 +297,7 @@ def _run_campaign(
     shutdown: ShutdownCoordinator,
     watchdog: Optional[Watchdog],
     faults: Optional[FaultPlan],
+    phase_wall=None,
 ) -> int:
     ids = [experiment.id for experiment in experiments]
     fingerprint = campaign_fingerprint(scale, ids)
@@ -303,6 +326,14 @@ def _run_campaign(
                 f"campaign of {len(ids)} experiment(s); journal "
                 f"{manifest_path}"
             )
+    marks = {"last": time.perf_counter()}
+
+    def _note_experiment(exp_id: str) -> None:
+        now = time.perf_counter()
+        if phase_wall is not None:
+            phase_wall[exp_id] = now - marks["last"]
+        marks["last"] = now
+
     campaign = CampaignRunner(
         manifest,
         runner,
@@ -311,6 +342,7 @@ def _run_campaign(
         shutdown=shutdown,
         watchdog=watchdog,
         faults=faults,
+        on_experiment=_note_experiment,
     )
     status = campaign.run()
     if not args.quiet:
@@ -339,6 +371,53 @@ def _run_campaign(
     return 0 if not status.failed else 1
 
 
+def _append_history(args, experiments, runner, store, scale, engine,
+                    jobs, code, phase_wall, total_wall) -> None:
+    """Append the run's ``colt-history-v1`` record (best-effort).
+
+    Every store-backed run leaves one record -- including interrupted
+    (exit 75) and failed ones, so the trend tables show crashes too.
+    """
+    if store is None or not history_enabled():
+        return
+    ids = [experiment.id for experiment in experiments]
+    if code == 0:
+        status = "ok"
+    elif code == SHUTDOWN_EXIT_CODE:
+        status = "interrupted"
+    else:
+        status = "failed"
+    snapshot = get_registry().snapshot()
+    counters = {
+        name: snapshot.counter_total(name)
+        for name, entry in snapshot.instruments.items()
+        if entry["kind"] == "counter"
+    }
+    wall = dict(phase_wall)
+    wall["total"] = total_wall
+    record = build_record(
+        ts=time.time(),
+        status=status,
+        figure="+".join(ids),
+        scale=os.environ.get("REPRO_SCALE", "").lower() or "default",
+        engine=engine,
+        fingerprint=campaign_fingerprint(scale, ids),
+        wall=wall,
+        counters=counters,
+        store=runner.store_summary(),
+        campaign=bool(args.campaign),
+        telemetry=args.telemetry_port is not None,
+        jobs=jobs,
+    )
+    try:
+        path = append_record(history_path(store.root), record)
+    except OSError as exc:
+        print(f"history: could not append run record: {exc}")
+        return
+    if not args.quiet:
+        print(f"history: {status} record appended to {path}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if not args.ids:
@@ -346,6 +425,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.resume:
         args.campaign = True
+    if args.telemetry_port is None:
+        args.telemetry_port = telemetry_port_from_env()
 
     configure_logging(-1 if args.quiet else args.verbose)
     engine = resolve_engine(args.engine)
@@ -395,38 +476,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=jobs, store=store, policy=policy, faults=faults,
         shutdown=shutdown, watchdog=watchdog, engine=engine,
     )
-    code = 1
-    try:
-        if args.campaign:
-            code = _run_campaign(
-                args, experiments, scale, runner, store,
-                shutdown, watchdog, faults,
-            )
-        else:
-            code = _run_plain(args, experiments, scale, runner)
-    except ShutdownRequested as exc:
-        # First signal outside the campaign loop: completed results are
-        # already checkpointed in the store; finish artifacts and exit
-        # with the resumable status.
-        print(
-            f"interrupted by {exc.signal_name}; completed results are "
-            "checkpointed in the store"
-        )
-        code = SHUTDOWN_EXIT_CODE
-    except CampaignError as exc:
-        print(f"campaign error: {exc}")
-        code = 2
-    except MemoryBudgetError as exc:
-        print(f"memory budget exhausted: {exc}")
-        code = 1
-    finally:
-        if watchdog is not None:
-            watchdog.stop()
-        shutdown.restore()
 
-    _print_summaries(args, runner)
-    if obs_enabled:
-        _emit_obs(args, runner)
+    get_progress().update(
+        phase="starting",
+        ids=[experiment.id for experiment in experiments],
+        engine=engine,
+        scale=os.environ.get("REPRO_SCALE", "").lower() or "default",
+        jobs=jobs,
+        campaign=bool(args.campaign),
+    )
+    telemetry = None
+    if args.telemetry_port is not None:
+        telemetry = TelemetryServer(args.telemetry_port)
+        bound_port = telemetry.start()
+        # Always printed (not gated on --quiet): with port 0 this line
+        # is the only way callers learn the ephemeral port.
+        print(
+            f"telemetry: http://127.0.0.1:{bound_port}/ "
+            "(/metrics /progress /healthz)"
+        )
+
+    code = 1
+    phase_wall = {}
+    run_started = time.perf_counter()
+    try:
+        try:
+            if args.campaign:
+                code = _run_campaign(
+                    args, experiments, scale, runner, store,
+                    shutdown, watchdog, faults, phase_wall=phase_wall,
+                )
+            else:
+                code = _run_plain(
+                    args, experiments, scale, runner, phase_wall=phase_wall
+                )
+        except ShutdownRequested as exc:
+            # First signal outside the campaign loop: completed results
+            # are already checkpointed in the store; finish artifacts
+            # and exit with the resumable status.
+            print(
+                f"interrupted by {exc.signal_name}; completed results "
+                "are checkpointed in the store"
+            )
+            code = SHUTDOWN_EXIT_CODE
+        except CampaignError as exc:
+            print(f"campaign error: {exc}")
+            code = 2
+        except MemoryBudgetError as exc:
+            print(f"memory budget exhausted: {exc}")
+            code = 1
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+            shutdown.restore()
+
+        get_progress().update(phase="finished", exit_code=code)
+        _print_summaries(args, runner)
+        if obs_enabled:
+            _emit_obs(args, runner)
+        _append_history(
+            args, experiments, runner, store, scale, engine, jobs,
+            code, phase_wall, time.perf_counter() - run_started,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
     return code
 
 

@@ -14,6 +14,16 @@ One subsystem, four pieces (see DESIGN.md section 6):
   wall-time, worker utilisation, store hit ratio, coalescing
   histograms, buddy fragmentation timeline).
 
+The telemetry plane (DESIGN.md section 11) builds on those:
+
+* :mod:`repro.obs.live` -- thread-safe :class:`ProgressTracker`
+  blackboard the campaign/runner/watchdog publish into;
+* :mod:`repro.obs.serve` -- opt-in HTTP endpoint (``/metrics`` in
+  Prometheus text format, ``/progress`` JSON, ``/healthz``);
+* :mod:`repro.obs.history` -- persistent ``colt-history-v1`` run
+  records with trend/diff/regression-gate helpers
+  (``tools/obs_history.py``).
+
 Observability never mutates simulator state: a traced run's
 ``SimulationResult``s are bit-identical to an untraced run's, and with
 everything disabled the hooks cost one ``is None`` check each.
@@ -26,6 +36,15 @@ from repro.obs.hooks import (
     drain_worker_obs,
     reset_worker_obs,
 )
+from repro.obs.history import (
+    HISTORY_ENV,
+    HISTORY_SCHEMA,
+    append_record,
+    build_record,
+    history_path,
+    load_history,
+)
+from repro.obs.live import ProgressTracker, get_progress, reset_progress
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.registry import (
     Counter,
@@ -38,6 +57,12 @@ from repro.obs.registry import (
     set_registry,
 )
 from repro.obs.report import RunReport
+from repro.obs.serve import (
+    TELEMETRY_PORT_ENV,
+    TelemetryServer,
+    prometheus_text,
+    telemetry_port_from_env,
+)
 from repro.obs.trace import (
     PROFILE_ENV,
     TRACE_ENV,
@@ -55,6 +80,8 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "Gauge",
+    "HISTORY_ENV",
+    "HISTORY_SCHEMA",
     "Histogram",
     "KernelObserver",
     "MMUObserver",
@@ -62,22 +89,33 @@ __all__ = [
     "MetricsSnapshot",
     "ObsPayload",
     "PROFILE_ENV",
+    "ProgressTracker",
     "RunReport",
+    "TELEMETRY_PORT_ENV",
     "TRACE_ENV",
+    "TelemetryServer",
     "TraceEvent",
     "Tracer",
+    "append_record",
     "bind_counterset",
+    "build_record",
     "configure_logging",
     "current_tracer",
     "disable_tracing",
     "drain_worker_obs",
     "enable_tracing",
     "get_logger",
+    "get_progress",
     "get_registry",
+    "history_path",
+    "load_history",
     "obs_active",
+    "prometheus_text",
+    "reset_progress",
     "reset_tracing",
     "reset_worker_obs",
     "set_registry",
     "span",
+    "telemetry_port_from_env",
     "tracing_requested",
 ]

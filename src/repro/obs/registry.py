@@ -38,6 +38,7 @@ simulated access.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -239,21 +240,29 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
         self._collectors: List[Collector] = []
+        # Serialises snapshot/merge against each other: the telemetry
+        # server thread (repro.obs.serve) snapshots while the main
+        # thread folds worker snapshots in. Instrument *updates* stay
+        # lock-free -- they mutate per-instrument dicts the snapshot
+        # reads via list() copies, and the one writer that runs off the
+        # main thread (the watchdog) only touches pre-created keys.
+        self._lock = threading.RLock()
 
     # -- instrument creation (get-or-create, kind-checked) -------------
 
     def _get_or_create(self, cls, name: str, **kwargs) -> Instrument:
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ConfigurationError(
-                    f"instrument {name!r} already registered as "
-                    f"{existing.kind}, requested {cls.kind}"
-                )
-            return existing
-        instrument = cls(name, **kwargs)
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigurationError(
+                        f"instrument {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
 
     def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
         return self._get_or_create(Counter, name, help=help, unit=unit)
@@ -273,7 +282,8 @@ class MetricsRegistry:
         )
 
     def register_collector(self, collector: Collector) -> None:
-        self._collectors.append(collector)
+        with self._lock:
+            self._collectors.append(collector)
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -289,9 +299,23 @@ class MetricsRegistry:
         reports the same events twice.
         """
         out: Dict[str, dict] = {}
-        for name, instrument in self._instruments.items():
+        with self._lock:
+            instruments = dict(self._instruments)
+            collectors = list(self._collectors)
+            if reset:
+                self._instruments.clear()
+                self._collectors.clear()
+            return self._materialise(instruments, collectors, out)
+
+    def _materialise(
+        self,
+        instruments: Dict[str, Instrument],
+        collectors: List[Collector],
+        out: Dict[str, dict],
+    ) -> MetricsSnapshot:
+        for name, instrument in instruments.items():
             series = []
-            for key, value in instrument.series():
+            for key, value in list(instrument.series()):
                 entry = {"labels": dict(key)}
                 if isinstance(value, HistogramState):
                     entry.update(
@@ -312,7 +336,7 @@ class MetricsRegistry:
                 }
 
         # Collector samples accumulate on top (summing duplicates).
-        for collector in list(self._collectors):
+        for collector in collectors:
             for name, kind, labels, value in collector():
                 entry = out.setdefault(
                     name, {"kind": kind, "help": "", "unit": "", "series": []}
@@ -327,17 +351,21 @@ class MetricsRegistry:
                         {"labels": label_dict, "value": value}
                     )
 
-        if reset:
-            self._instruments.clear()
-            self._collectors.clear()
         return MetricsSnapshot(instruments=out)
 
     def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
         """Fold a (worker) snapshot into this registry's instruments.
 
         Counters and histograms add; gauges keep the incoming value
-        (the freshest observation wins).
+        (the freshest observation wins). Histogram samples whose bucket
+        bounds differ from the registered instrument's are rejected
+        with :class:`ConfigurationError` -- merging them would silently
+        misalign per-bucket counts.
         """
+        with self._lock:
+            self._merge_snapshot_locked(snapshot)
+
+    def _merge_snapshot_locked(self, snapshot: MetricsSnapshot) -> None:
         for name, entry in snapshot.instruments.items():
             kind = entry["kind"]
             if kind == "histogram":
@@ -350,8 +378,15 @@ class MetricsRegistry:
                     unit=entry.get("unit", ""), buckets=buckets,
                 )
                 for sample in entry["series"]:
+                    sample_buckets = tuple(sample["buckets"])
+                    if sample_buckets != hist.buckets:
+                        raise ConfigurationError(
+                            f"cannot merge histogram '{name}': snapshot "
+                            f"bucket bounds {sample_buckets} differ from "
+                            f"registered bounds {hist.buckets}"
+                        )
                     state = HistogramState(
-                        buckets=tuple(sample["buckets"]),
+                        buckets=sample_buckets,
                         counts=list(sample["counts"]),
                         count=sample["count"],
                         sum=sample["sum"],

@@ -58,6 +58,7 @@ from repro.common.errors import (
     TaskExecutionError,
 )
 from repro.common.statistics import CounterSet
+from repro.obs.live import get_progress
 from repro.obs.logging import get_logger
 from repro.obs.registry import bind_counterset, get_registry
 from repro.obs.trace import obs_active, span
@@ -400,6 +401,15 @@ class CampaignRunner:
     def _table_path(self, exp_id: str) -> Path:
         return self.tables_dir / f"{exp_id}.txt"
 
+    def _publish_progress(self, current: Optional[str] = None) -> None:
+        """Post manifest counts to the live tracker (telemetry plane)."""
+        get_progress().update_section(
+            "campaign",
+            current=current,
+            total=len(self.manifest.experiment_ids),
+            **self.manifest.counts(),
+        )
+
     def run(self) -> CampaignStatus:
         """Run every non-``done`` experiment; journal every transition.
 
@@ -413,6 +423,8 @@ class CampaignRunner:
         from repro.experiments.registry import get_experiment
 
         status = CampaignStatus()
+        get_progress().update(phase="campaign")
+        self._publish_progress()
         demoted = self.manifest.demote_running()
         if demoted:
             self.counters.increment("resumed", demoted)
@@ -442,6 +454,7 @@ class CampaignRunner:
             self.counters.increment("experiments")
             self.manifest.mark_running(exp_id)
             self.counters.increment("journal_writes")
+            self._publish_progress(current=exp_id)
             if self._faults is not None:
                 # After mark-running: an injected death here leaves the
                 # nastiest journal state (in flight), which resume must
@@ -472,6 +485,7 @@ class CampaignRunner:
                 self.manifest.mark_failed(exp_id, str(exc))
                 self.counters.increment("journal_writes")
                 self.counters.increment("failed")
+                self._publish_progress()
                 status.failed.append(exp_id)
                 _LOG.error("experiment %s failed permanently: %s",
                            exp_id, exc)
@@ -484,8 +498,13 @@ class CampaignRunner:
             self.counters.increment("completed")
             status.completed.append(exp_id)
             status.tables[exp_id] = table
+            self._publish_progress()
             if self._on_experiment is not None:
                 self._on_experiment(exp_id)
+        self._publish_progress()
+        get_progress().update(
+            phase="interrupted" if status.interrupted else "idle"
+        )
         if status.interrupted is not None:
             with span("campaign.shutdown", cat="campaign",
                       signal=status.interrupted):

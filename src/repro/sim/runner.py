@@ -47,6 +47,7 @@ from repro.obs.hooks import (
     in_pool_worker,
     reset_worker_obs,
 )
+from repro.obs.live import get_progress
 from repro.obs.registry import bind_counterset, get_registry
 from repro.obs.trace import TraceEvent, current_tracer, obs_active, span
 from repro.sim.faults import FaultPlan
@@ -322,6 +323,13 @@ class ExperimentRunner:
             pending.append(config)
 
         if pending:
+            get_progress().update_section(
+                "runner",
+                stage="simulate",
+                configs=len(configs),
+                pending=len(pending),
+                jobs=self._jobs,
+            )
             with span(
                 "runner.run_batch",
                 configs=len(configs),
@@ -334,6 +342,7 @@ class ExperimentRunner:
                         self._finish(config, simulate(config))
                 else:
                     self._run_captured(pending)
+            get_progress().update_section("runner", stage="idle", pending=0)
         return {config: self._cache[config] for config in configs}
 
     def _finish(
@@ -424,6 +433,9 @@ class ExperimentRunner:
             watchdog=self._watchdog,
         ) as executor:
             failure: Optional[TaskExecutionError] = None
+            get_progress().update_section(
+                "runner", stage="capture", captures=len(capture_tasks)
+            )
             try:
                 for task, (scenario, payload) in executor.run(capture_tasks):
                     self._scenarios[to_capture[task.index]] = scenario
@@ -450,6 +462,9 @@ class ExperimentRunner:
                 )
                 for index, (key, chunk) in enumerate(replay_chunks)
             ]
+            get_progress().update_section(
+                "runner", stage="replay", replays=len(replay_tasks)
+            )
             try:
                 for task, (results, payload) in executor.run(replay_tasks):
                     self._absorb(payload)

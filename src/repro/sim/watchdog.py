@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.common.statistics import CounterSet
+from repro.obs.live import get_progress
 from repro.obs.logging import get_logger
 from repro.obs.registry import bind_counterset, get_registry
 from repro.obs.trace import current_tracer, obs_active
@@ -174,8 +175,25 @@ class Watchdog:
             counters if counters is not None
             else CounterSet(WATCHDOG_COUNTERS)
         )
+        self._rss_gauge = None
+        self._degradation_gauge = None
         if obs_active():
-            bind_counterset(get_registry(), "colt_watchdog", self.counters)
+            registry = get_registry()
+            bind_counterset(registry, "colt_watchdog", self.counters)
+            self._rss_gauge = registry.gauge(
+                "colt_watchdog_rss_bytes",
+                help="Last sampled RSS of the run (self + pool workers)",
+                unit="bytes",
+            )
+            self._degradation_gauge = registry.gauge(
+                "colt_watchdog_degradation",
+                help="Memory-pressure degradation rung (0=none, 3=abort)",
+            )
+            # Pre-create the empty-label series on the construction
+            # thread: the monitor thread then only ever overwrites an
+            # existing dict slot, never grows one mid-snapshot.
+            self._rss_gauge.set(0)
+            self._degradation_gauge.set(0)
 
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -338,14 +356,19 @@ class Watchdog:
         return path
 
     def _check_memory(self) -> None:
+        rss = self._rss_fn()
+        if rss is not None:
+            with self._lock:
+                self.last_rss_bytes = rss
+                rung = self._degradation
+            if self._rss_gauge is not None:
+                self._rss_gauge.set(rss)
+            get_progress().update_section(
+                "watchdog", rss_bytes=rss, degradation=rung
+            )
         if self.mem_budget_bytes is None or self.should_abort():
             return
-        rss = self._rss_fn()
-        if rss is None:
-            return
-        with self._lock:
-            self.last_rss_bytes = rss
-        if rss <= self.mem_budget_bytes:
+        if rss is None or rss <= self.mem_budget_bytes:
             return
         self.counters.increment("mem_breaches")
         self._escalate(rss)
@@ -366,6 +389,9 @@ class Watchdog:
             with self._lock:
                 self._abort = True
             action = "requesting a clean abort"
+        if self._degradation_gauge is not None:
+            self._degradation_gauge.set(rung)
+        get_progress().update_section("watchdog", degradation=rung)
         tracer = current_tracer()
         if tracer is not None:
             tracer.instant(

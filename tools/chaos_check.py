@@ -22,6 +22,13 @@ to the clean run, and a stall-watchdog run whose delayed capture must
 produce a stack-dump artifact while still converging to the clean
 tables.
 
+``--telemetry`` checks the telemetry plane's crash discipline: a
+campaign serving ``--telemetry-port 0`` must answer /healthz, /progress
+and /metrics while running, shut the server down cleanly on SIGTERM
+(exit 75, port released), and still append a non-ok ``colt-history-v1``
+record for the killed run; the subsequent ``--resume`` must finish the
+journal and append an ``ok`` record to the same history file.
+
 Exit status is non-zero on any divergence; the chaos CI job runs
 ``python tools/chaos_check.py --jobs 2`` and
 ``python tools/chaos_check.py --campaign --jobs 2``. Because injected
@@ -34,11 +41,15 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(
@@ -126,9 +137,10 @@ def _campaign_env(faults: str = "") -> dict:
         env["COLT_FAULTS"] = faults
     else:
         env.pop("COLT_FAULTS", None)
-    # The phases below pass watchdog knobs explicitly; ambient settings
-    # must not leak in.
-    for var in ("COLT_STALL_TIMEOUT", "COLT_MEM_BUDGET", "COLT_DUMP_DIR"):
+    # The phases below pass watchdog/telemetry knobs explicitly; ambient
+    # settings must not leak in.
+    for var in ("COLT_STALL_TIMEOUT", "COLT_MEM_BUDGET", "COLT_DUMP_DIR",
+                "COLT_TELEMETRY_PORT", "COLT_HISTORY"):
         env.pop(var, None)
     return env
 
@@ -284,6 +296,187 @@ def _campaign_check(args) -> int:
     return 0
 
 
+#: The always-printed line that announces the bound telemetry port
+#: (the only way to learn it when ``--telemetry-port 0`` is used).
+TELEMETRY_LINE = re.compile(r"telemetry: http://127\.0\.0\.1:(\d+)/")
+
+
+def _history_records(cache_dir: str) -> list:
+    path = Path(cache_dir) / "history" / "history.jsonl"
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def _get(port: int, route: str, timeout: float = 5.0) -> bytes:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{route}", timeout=timeout
+    ) as response:
+        return response.read()
+
+
+def _telemetry_check(args) -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="colt-telemetry-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+
+        # Kill phase: serve telemetry while entry 1 is held open, probe
+        # all three endpoints live, then SIGTERM. The server must come
+        # down with the process (exit 75, port released) and the killed
+        # run must still leave a non-ok history record.
+        print("telemetry campaign (SIGTERM while serving --telemetry-port 0)")
+        proc = subprocess.Popen(
+            _campaign_cmd(
+                cache_dir, args.jobs, extra=("--telemetry-port", "0")
+            ),
+            env=_campaign_env(f"delay@campaign:1/{HOLD_SECONDS:g}"),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        lines: list = []
+        port_found = threading.Event()
+        port_box: list = []
+
+        def _read_stdout() -> None:
+            for line in proc.stdout:
+                lines.append(line)
+                match = TELEMETRY_LINE.search(line)
+                if match and not port_box:
+                    port_box.append(int(match.group(1)))
+                    port_found.set()
+            port_found.set()  # EOF: stop waiters even without a match
+
+        reader = threading.Thread(target=_read_stdout, daemon=True)
+        reader.start()
+        port_found.wait(60.0)
+        if not port_box:
+            proc.terminate()
+            proc.wait(timeout=60.0)
+            reader.join(timeout=10.0)
+            print("FAIL: campaign never announced its telemetry port\n"
+                  + "".join(lines), file=sys.stderr)
+            return 1
+        port = port_box[0]
+
+        first_table = Path(cache_dir) / "campaign" / "tables" / \
+            f"{CAMPAIGN_IDS[0]}.txt"
+        deadline = time.monotonic() + 300.0
+        while not first_table.exists():
+            if proc.poll() is not None or time.monotonic() > deadline:
+                reader.join(timeout=10.0)
+                print(f"FAIL: campaign ended (rc={proc.returncode}) "
+                      f"before it could be probed\n{''.join(lines)}",
+                      file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+
+        try:
+            if _get(port, "/healthz").strip() != b"ok":
+                print("FAIL: /healthz did not answer ok", file=sys.stderr)
+                failures += 1
+            progress = json.loads(_get(port, "/progress"))
+            if "phase" not in progress or "campaign" not in progress:
+                print(f"FAIL: /progress incomplete while running: "
+                      f"{sorted(progress)}", file=sys.stderr)
+                failures += 1
+            metrics = _get(port, "/metrics").decode("utf-8")
+            if "colt_campaign_experiments" not in metrics:
+                print("FAIL: live /metrics lacks campaign counters",
+                      file=sys.stderr)
+                failures += 1
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"FAIL: live telemetry probe failed: {exc}",
+                  file=sys.stderr)
+            failures += 1
+        if not failures:
+            print(f"  live probes ok on port {port} "
+                  f"(phase={progress.get('phase')!r})")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=120.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            print("FAIL: campaign did not exit within 120s of SIGTERM "
+                  "(telemetry thread wedged the shutdown?)",
+                  file=sys.stderr)
+            failures += 1
+        reader.join(timeout=10.0)
+        if proc.returncode != SHUTDOWN_EXIT_CODE:
+            print(f"FAIL: killed campaign exited {proc.returncode}, "
+                  f"expected {SHUTDOWN_EXIT_CODE}\n{''.join(lines)}",
+                  file=sys.stderr)
+            failures += 1
+        try:
+            _get(port, "/healthz", timeout=2.0)
+            print(f"FAIL: port {port} still answering after exit "
+                  "(telemetry thread leaked)", file=sys.stderr)
+            failures += 1
+        except (urllib.error.URLError, OSError):
+            pass  # refused/reset: the server came down with the process
+
+        records = _history_records(cache_dir)
+        if not records:
+            print("FAIL: killed run appended no history record",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            last = records[-1]
+            if last.get("status") == "ok" or not last.get("telemetry"):
+                print(f"FAIL: killed run's history record is "
+                      f"status={last.get('status')!r} "
+                      f"telemetry={last.get('telemetry')!r}; expected a "
+                      "non-ok telemetry record", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"  exit {SHUTDOWN_EXIT_CODE}, port released, "
+                      f"history recorded status={last['status']!r}")
+
+        print("resumed campaign (--resume, telemetry served again)")
+        result = subprocess.run(
+            _campaign_cmd(
+                cache_dir, args.jobs,
+                extra=("--resume", "--telemetry-port", "0"),
+            ),
+            env=_campaign_env(), capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            print(f"FAIL: resume exited {result.returncode}\n"
+                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+            failures += 1
+        statuses = _statuses(cache_dir)
+        if any(status != "done" for status in statuses.values()):
+            print(f"FAIL: resume left unfinished entries: {statuses}",
+                  file=sys.stderr)
+            failures += 1
+        resumed = _history_records(cache_dir)
+        if len(resumed) != len(records) + 1 or \
+                resumed[-1].get("status") != "ok":
+            print(f"FAIL: resume did not append an ok record "
+                  f"({len(records)} -> {len(resumed)} records, newest "
+                  f"{resumed[-1].get('status')!r})"
+                  if resumed else "FAIL: resume left no history",
+                  file=sys.stderr)
+            failures += 1
+        elif not failures:
+            print(f"  journal all done; history now {len(resumed)} "
+                  "record(s), newest status='ok'")
+
+    if failures:
+        print(f"telemetry check FAILED ({failures} divergence(s))",
+              file=sys.stderr)
+        return 1
+    print("telemetry check passed: clean SIGTERM shutdown, history "
+          "records for killed and resumed runs")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Verify fault-injected runs recover bit-identical "
@@ -303,9 +496,17 @@ def main(argv=None) -> int:
              "kill, --resume to byte-identical tables, stall-watchdog "
              "dump",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="check the telemetry plane instead: live endpoint probes, "
+             "clean server shutdown on SIGTERM, history records for "
+             "killed and resumed runs",
+    )
     args = parser.parse_args(argv)
     if args.campaign:
         return _campaign_check(args)
+    if args.telemetry:
+        return _telemetry_check(args)
 
     policy = RetryPolicy(max_retries=3, backoff_s=0.05, timeout_s=600.0)
     failures = 0
