@@ -92,6 +92,7 @@ CAMPAIGN_COUNTERS = (
     "failed",
     "interrupted",
     "resumed",
+    "demotions",
     "journal_writes",
 )
 
@@ -328,14 +329,16 @@ class CampaignManifest:
     def mark_pending(self, exp_id: str) -> None:
         self._transition(exp_id, STATUS_PENDING)
 
-    def demote_running(self) -> int:
+    def demote_running(self) -> List[str]:
         """Resume-time repair: in-flight entries of a killed process
-        go back to ``pending`` (their work never journaled as done)."""
-        demoted = 0
-        for entry in self.entries.values():
+        go back to ``pending`` (their work never journaled as done).
+        Returns the demoted experiment ids so the caller can account
+        for the repair instead of performing it silently."""
+        demoted = []
+        for exp_id, entry in self.entries.items():
             if entry["status"] == STATUS_RUNNING:
                 entry["status"] = STATUS_PENDING
-                demoted += 1
+                demoted.append(exp_id)
         if demoted:
             self.save()
         return demoted
@@ -427,10 +430,17 @@ class CampaignRunner:
         self._publish_progress()
         demoted = self.manifest.demote_running()
         if demoted:
-            self.counters.increment("resumed", demoted)
+            self.counters.increment("resumed", len(demoted))
+            self.counters.increment("demotions", len(demoted))
+            if obs_active():
+                get_registry().counter(
+                    "colt_campaign_demotions",
+                    help="in-flight experiments demoted to pending "
+                    "on resume",
+                ).inc(len(demoted))
             _LOG.warning(
                 "journal had %d in-flight experiment(s) from a killed "
-                "run; requeued", demoted,
+                "run; requeued: %s", len(demoted), ", ".join(demoted),
             )
         for index, exp_id in enumerate(self.manifest.experiment_ids):
             if self.watchdog is not None and self.watchdog.should_abort():

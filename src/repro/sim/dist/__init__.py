@@ -1,0 +1,59 @@
+"""Distributed sharded campaigns: a coordinator/worker layer.
+
+``repro.sim.runner`` parallelises *inside* one process with a pool;
+this package shards the (scenario x design) matrix across N worker
+*subprocesses*, each with its own result-store shard and write-ahead
+shard journal, speaking a length-prefixed SHA-256-framed protocol over
+stdin/stdout (the same integrity frame the result store uses on disk).
+
+Pieces:
+
+* :mod:`repro.sim.dist.protocol` -- the framed wire messages.
+* :mod:`repro.sim.dist.shard` -- deterministic group->worker
+  assignment and the per-shard write-ahead journal.
+* :mod:`repro.sim.dist.worker` -- the worker subprocess entry point
+  (``python -m repro.sim.dist.worker``).
+* :mod:`repro.sim.dist.coordinator` -- :class:`DistributedRunner`, an
+  :class:`~repro.sim.runner.ExperimentRunner` whose scenario groups
+  run on workers; it detects lost workers by heartbeat/EOF, reassigns
+  their shards (bounded), quarantines fingerprint-desynced shards,
+  and merges results into the primary store by content hash.
+
+Knobs: ``COLT_WORKERS`` (``--workers N``) turns the layer on;
+``COLT_HEARTBEAT_TIMEOUT`` sets the seconds of silence after which a
+worker is declared lost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable selecting the worker count (``--workers``).
+WORKERS_ENV = "COLT_WORKERS"
+
+#: Environment variable for the worker-lost heartbeat timeout.
+HEARTBEAT_ENV = "COLT_HEARTBEAT_TIMEOUT"
+
+#: Seconds of worker silence before the coordinator declares it lost.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+def workers_from_env() -> Optional[int]:
+    """Worker count named by ``COLT_WORKERS``; None when unset/<=1."""
+    text = os.environ.get(WORKERS_ENV, "").strip()
+    if not text:
+        return None
+    count = int(text)
+    return count if count > 1 else None
+
+
+def heartbeat_timeout_from_env(
+    default: float = DEFAULT_HEARTBEAT_TIMEOUT,
+) -> float:
+    """Heartbeat timeout from ``COLT_HEARTBEAT_TIMEOUT`` (seconds)."""
+    text = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not text:
+        return default
+    seconds = float(text)
+    return seconds if seconds > 0 else default

@@ -1,0 +1,600 @@
+"""The distributed coordinator: an ExperimentRunner over worker shards.
+
+:class:`DistributedRunner` subclasses
+:class:`~repro.sim.runner.ExperimentRunner` and overrides exactly one
+seam -- ``_run_groups`` -- so everything above it (store probing,
+in-process memoisation, campaign journaling, the watchdog ladder, the
+CLI) is unchanged: a distributed campaign is an ordinary campaign whose
+scenario groups happen to execute in worker subprocesses.
+
+Fault-tolerance model:
+
+* **Deterministic sharding.** Groups land on workers by content hash
+  (:func:`repro.sim.dist.shard.assign_worker`), so reruns and resumes
+  shard identically and every worker reuses its own shard store.
+* **Worker loss.** EOF on a worker's pipe, a torn protocol frame, or
+  heartbeat silence past the timeout marks the worker lost; its
+  unfinished groups are reassigned deterministically over the sorted
+  survivors, at most :data:`MAX_GROUP_REASSIGNS` times per group, after
+  which the group runs inline in the coordinator -- loss can cost time,
+  never results.
+* **Shard desync.** A worker whose constants-fingerprint digest differs
+  from the coordinator's (the ``shard-desync@dist`` fault, or a real
+  code/constants skew) is never assigned to and never merged from: its
+  shard directory is quarantined under ``dist/quarantine/``. Merging by
+  content hash is the backstop -- a desynced worker's keys do not even
+  collide with the primary store's -- but quarantine keeps alien bytes
+  out of the store entirely.
+* **Two-stage shutdown.** When the :class:`ShutdownCoordinator` has a
+  signal, the coordinator stops assigning, tells workers to wind down,
+  and raises :class:`ShutdownRequested`; every merged group was already
+  ``_finish``-ed (and store-saved) beforehand, so ``--resume`` replays
+  only what is missing, byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+import repro
+from repro.common.errors import TaskExecutionError
+from repro.common.statistics import CounterSet
+from repro.obs.live import get_progress
+from repro.obs.logging import get_logger
+from repro.obs.registry import bind_counterset, get_registry
+from repro.obs.trace import obs_active, span
+from repro.sim.dist import heartbeat_timeout_from_env
+from repro.sim.dist.protocol import (
+    MSG_ASSIGN,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    ProtocolError,
+    fingerprint_digest,
+    read_message,
+    write_message,
+)
+from repro.sim.dist.shard import (
+    JOURNAL_NAME,
+    assign_worker,
+    group_id,
+    read_journal,
+)
+from repro.sim.runner import ExperimentRunner
+from repro.sim.store import unframe_payload
+
+_LOG = get_logger(__name__)
+
+#: Times a group may be handed to a replacement worker before the
+#: coordinator gives up on delegation and runs it inline.
+MAX_GROUP_REASSIGNS = 2
+
+#: Seconds a worker gets to exit after a shutdown message.
+_WIND_DOWN_S = 10.0
+
+#: Event-queue poll slice; bounds shutdown/staleness latency.
+_POLL_SLICE_S = 0.2
+
+#: Subdirectories of ``<store>/dist/``.
+SHARDS_DIR = "shards"
+DIST_QUARANTINE_DIR = "quarantine"
+
+#: Tallies surfaced as ``colt_dist_*`` when observability is active.
+DIST_COUNTERS = (
+    "workers",      # worker subprocesses spawned
+    "groups",       # scenario groups dispatched through the dist layer
+    "merged",       # groups whose results merged into the coordinator
+    "heartbeats",   # heartbeat messages received
+    "lost",         # workers declared lost (EOF / torn frame / silence)
+    "desyncs",      # workers quarantined for fingerprint skew
+    "reassigned",   # group reassignments after a loss/desync
+    "inline",       # groups that fell back to inline execution
+    "errors",       # permanent group failures reported by workers
+    "synced",       # shard store entries synced into the primary store
+)
+
+
+class _Worker:
+    """Coordinator-side handle for one worker subprocess."""
+
+    def __init__(self, worker_id: int, proc: subprocess.Popen,
+                 shard_dir: Optional[Path]) -> None:
+        self.id = worker_id
+        self.proc = proc
+        self.shard_dir = shard_dir
+        self.alive = True
+        self.desynced = False
+        self.fingerprint: Optional[str] = None  # set by hello
+        self.last_seen = time.monotonic()
+        self.assigned: Set[str] = set()   # gids in flight on this worker
+        self.reader: Optional[threading.Thread] = None
+
+    @property
+    def ready(self) -> bool:
+        return self.alive and not self.desynced and \
+            self.fingerprint is not None
+
+
+class DistributedRunner(ExperimentRunner):
+    """ExperimentRunner whose scenario groups run on worker shards.
+
+    Args:
+        workers: worker subprocess count; ``<= 1`` degrades to the
+            plain inherited (single-process-pool) behaviour.
+        jobs: *aggregate* parallelism target, split across workers
+            (each worker gets ``ceil(jobs / workers)`` pool jobs)
+            unless ``worker_jobs`` pins it explicitly.
+        heartbeat_timeout: seconds of worker silence before it is
+            declared lost; defaults to ``COLT_HEARTBEAT_TIMEOUT``.
+        worker_jobs: pool jobs per worker (overrides the split).
+
+    Remaining arguments match :class:`ExperimentRunner`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        jobs: Optional[int] = None,
+        store=None,
+        policy=None,
+        faults=None,
+        shutdown=None,
+        watchdog=None,
+        engine: Optional[str] = None,
+        heartbeat_timeout: Optional[float] = None,
+        worker_jobs: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            jobs=jobs, store=store, policy=policy, faults=faults,
+            shutdown=shutdown, watchdog=watchdog, engine=engine,
+        )
+        self.workers = max(1, int(workers))
+        self._heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout
+            else heartbeat_timeout_from_env()
+        )
+        self._worker_jobs = (
+            max(1, int(worker_jobs)) if worker_jobs
+            else max(1, math.ceil(self._jobs / self.workers))
+        )
+        self._fingerprint = fingerprint_digest()
+        self._lock = threading.Lock()
+        # The fleet persists across batches (worker startup -- a fresh
+        # interpreter importing the simulator -- dwarfs per-group wire
+        # cost at QUICK scale); dead or desynced workers are replaced
+        # lazily at the next batch. Events carry the _Worker *object*,
+        # so a replaced worker's trailing EOF can never be mistaken
+        # for its successor with the same id.
+        self._fleet: Dict[int, _Worker] = {}
+        self._events: "queue.Queue[Tuple[_Worker, Optional[dict]]]" = \
+            queue.Queue()
+        self.dist_counters = CounterSet(DIST_COUNTERS)
+        if obs_active():
+            bind_counterset(get_registry(), "colt_dist",
+                            self.dist_counters)
+        if self._store is not None and not self._store.disabled:
+            self._dist_root: Optional[Path] = self._store.root / "dist"
+            self._sync_shards()
+        else:
+            self._dist_root = None
+
+    # ------------------------------------------------------------------
+    # Shard store merge (resume path).
+    # ------------------------------------------------------------------
+
+    def _quarantine_shard(self, worker_id: int,
+                          shard_dir: Path) -> None:
+        """Move a desynced worker's shard out of the merge path."""
+        target = (
+            self._dist_root / DIST_QUARANTINE_DIR / shard_dir.name
+            if self._dist_root is not None else None
+        )
+        self.dist_counters.increment("desyncs")
+        if target is None or not shard_dir.exists():
+            return
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                # A previous quarantine of the same worker: keep the
+                # older evidence, drop the newer duplicate dir name.
+                suffix = len(list(target.parent.iterdir()))
+                target = target.with_name(f"{target.name}.{suffix}")
+            shard_dir.rename(target)
+        except OSError as exc:
+            _LOG.warning(
+                "could not quarantine desynced shard %s: %s",
+                shard_dir, exc,
+            )
+            return
+        _LOG.warning(
+            "quarantined desynced shard of worker %d at %s",
+            worker_id, target,
+        )
+
+    def _sync_shards(self) -> None:
+        """Merge surviving shard-store entries into the primary store.
+
+        Runs at construction (the resume path): entries a previous
+        run's workers completed but the killed coordinator never
+        merged are copied in by file name -- the name *is* the content
+        hash of (config, constants), so a synced entry can only ever
+        be looked up by the exact config that produced it, and the
+        primary store's load-time validation re-checks the payload.
+        Shards whose journal carries a foreign fingerprint are
+        quarantined, not imported; torn entries are skipped (the
+        worker will simply recompute them).
+        """
+        if self._dist_root is None:
+            return
+        shards_root = self._dist_root / SHARDS_DIR
+        if not shards_root.is_dir():
+            return
+        for shard_dir in sorted(shards_root.iterdir()):
+            if not shard_dir.is_dir():
+                continue
+            journal = read_journal(shard_dir / JOURNAL_NAME)
+            if journal is not None and \
+                    journal.get("fingerprint") != self._fingerprint:
+                try:
+                    worker_id = int(journal.get("worker", -1))
+                except (TypeError, ValueError):
+                    worker_id = -1
+                self._quarantine_shard(worker_id, shard_dir)
+                continue
+            store_dir = shard_dir / "store"
+            if not store_dir.is_dir():
+                continue
+            for entry in sorted(store_dir.glob("*.pkl")):
+                target = self._store.root / entry.name
+                if target.exists():
+                    continue
+                try:
+                    blob = entry.read_bytes()
+                    unframe_payload(blob)  # integrity check only
+                except (OSError, ValueError) as exc:
+                    _LOG.warning(
+                        "skipping torn shard entry %s: %s", entry, exc
+                    )
+                    continue
+                try:
+                    target.write_bytes(blob)
+                except OSError as exc:
+                    _LOG.warning(
+                        "could not sync shard entry %s: %s", entry, exc
+                    )
+                    continue
+                self.dist_counters.increment("synced")
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle.
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> _Worker:
+        shard_dir = None
+        if self._dist_root is not None:
+            shard_dir = self._dist_root / SHARDS_DIR / \
+                f"worker-{worker_id}"
+        cmd = [
+            sys.executable, "-m", "repro.sim.dist.worker",
+            "--worker-id", str(worker_id),
+            "--jobs", str(self._worker_jobs),
+            "--heartbeat", str(self._heartbeat_timeout),
+        ]
+        if self._engine:
+            cmd += ["--engine", self._engine]
+        if shard_dir is not None:
+            cmd += ["--shard-dir", str(shard_dir)]
+        env = os.environ.copy()
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=env,
+        )
+        worker = _Worker(worker_id, proc, shard_dir)
+        worker.reader = threading.Thread(
+            target=self._read_worker, args=(worker,),
+            name=f"dist-reader-{worker_id}", daemon=True,
+        )
+        worker.reader.start()
+        self.dist_counters.increment("workers")
+        return worker
+
+    def _read_worker(self, worker: _Worker) -> None:
+        """Reader thread: drain one worker's stdout into the queue."""
+        stream = worker.proc.stdout
+        while True:
+            try:
+                message = read_message(stream)
+            except ProtocolError as exc:
+                _LOG.warning(
+                    "torn frame from worker %d: %s", worker.id, exc
+                )
+                message = None
+            except (OSError, ValueError) as exc:
+                _LOG.warning(
+                    "read error from worker %d: %s", worker.id, exc
+                )
+                message = None
+            with self._lock:
+                worker.last_seen = time.monotonic()
+            self._events.put((worker, message))
+            if message is None:
+                return
+
+    def _send(self, worker: _Worker, message: dict) -> bool:
+        """Write one message to a worker; False when its pipe is gone."""
+        try:
+            write_message(worker.proc.stdin, message)
+            return True
+        except (OSError, ValueError) as exc:
+            _LOG.debug("worker %d stdin write failed: %s",
+                       worker.id, exc)
+            return False
+
+    def _dismiss(self, worker: _Worker) -> None:
+        """Politely stop a worker, escalating to terminate/kill."""
+        if worker.proc.poll() is None:
+            self._send(worker, {"type": MSG_SHUTDOWN})
+            try:
+                worker.proc.stdin.close()
+            except OSError as exc:
+                _LOG.debug("worker %d stdin close failed: %s",
+                           worker.id, exc)
+            try:
+                worker.proc.wait(timeout=_WIND_DOWN_S)
+            except subprocess.TimeoutExpired:
+                worker.proc.terminate()
+                try:
+                    worker.proc.wait(timeout=_WIND_DOWN_S)
+                except subprocess.TimeoutExpired:
+                    worker.proc.kill()
+                    worker.proc.wait()
+        if worker.reader is not None:
+            worker.reader.join(timeout=_WIND_DOWN_S)
+        if worker.proc.stdout is not None:
+            try:
+                worker.proc.stdout.close()
+            except OSError as exc:
+                _LOG.debug("worker %d stdout close failed: %s",
+                           worker.id, exc)
+
+    def _stale(self, worker: _Worker) -> bool:
+        with self._lock:
+            quiet = time.monotonic() - worker.last_seen
+        return quiet > self._heartbeat_timeout
+
+    def _ensure_fleet(self) -> Dict[int, _Worker]:
+        """The live fleet, spawning replacements for dead workers.
+
+        Called at the top of every distributed batch: healthy workers
+        carry over warm (the dominant cost of a worker is interpreter
+        startup, not the work), dead/desynced ones are replaced. A
+        replacement is a new _Worker object, so any trailing events
+        from its predecessor are recognised as stale and dropped.
+        """
+        for worker_id in range(self.workers):
+            worker = self._fleet.get(worker_id)
+            if worker is not None and worker.alive and \
+                    not worker.desynced and worker.proc.poll() is None:
+                continue
+            if worker is not None:
+                self._dismiss(worker)
+                _LOG.info("respawning worker %d (previous incarnation "
+                          "%s)", worker_id,
+                          "desynced" if worker.desynced else "dead")
+            self._fleet[worker_id] = self._spawn(worker_id)
+        return dict(self._fleet)
+
+    def close(self) -> None:
+        """Dismiss the worker fleet (idempotent; safe mid-failure)."""
+        fleet, self._fleet = self._fleet, {}
+        for worker_id in sorted(fleet):
+            self._dismiss(fleet[worker_id])
+
+    # ------------------------------------------------------------------
+    # The distributed _run_groups seam.
+    # ------------------------------------------------------------------
+
+    def _run_groups(self, groups) -> None:
+        if self.workers <= 1 or len(groups) < 2:
+            # One worker -- or one group, where a coordinator hop buys
+            # nothing -- runs on the inherited in-process pool.
+            super()._run_groups(groups)
+            return
+        with span(
+            "dist.run",
+            workers=self.workers,
+            groups=len(groups),
+            worker_jobs=self._worker_jobs,
+        ):
+            self._run_distributed(groups)
+
+    def _run_distributed(self, groups) -> None:
+        items: Dict[str, Tuple[object, List[object]]] = {
+            group_id(key): (key, configs)
+            for key, configs in groups.items()
+        }
+        self.dist_counters.increment("groups", len(items))
+        reassigns: Dict[str, int] = {gid: 0 for gid in items}
+        inline: List[str] = []     # gids degraded to inline execution
+        done: Set[str] = set()
+        failures: List[TaskExecutionError] = []
+        by_id = self._ensure_fleet()
+        fleet = [by_id[worker_id] for worker_id in sorted(by_id)]
+        # Deterministic initial shard: hash over the full worker set.
+        backlog: Dict[int, List[str]] = {w.id: [] for w in fleet}
+        for gid in sorted(items):
+            backlog[assign_worker(gid, list(by_id))].append(gid)
+
+        def unfinished(worker: _Worker) -> List[str]:
+            stranded = sorted(
+                set(backlog.get(worker.id, ())) | worker.assigned
+            )
+            backlog[worker.id] = []
+            worker.assigned.clear()
+            return [gid for gid in stranded if gid not in done]
+
+        def reassign(gids: List[str]) -> None:
+            survivors = [w.id for w in fleet if w.alive and
+                         not w.desynced]
+            for gid in gids:
+                reassigns[gid] += 1
+                if survivors and reassigns[gid] <= MAX_GROUP_REASSIGNS:
+                    backlog[assign_worker(gid, survivors)].append(gid)
+                    self.dist_counters.increment("reassigned")
+                else:
+                    inline.append(gid)
+                    self.dist_counters.increment("inline")
+
+        def declare_lost(worker: _Worker, why: str) -> None:
+            worker.alive = False
+            self.dist_counters.increment("lost")
+            _LOG.warning(
+                "worker %d lost (%s); reassigning its shard",
+                worker.id, why,
+            )
+            reassign(unfinished(worker))
+
+        def declare_desynced(worker: _Worker, digest: str) -> None:
+            worker.desynced = True
+            _LOG.warning(
+                "worker %d reports foreign constants fingerprint "
+                "%.12s (coordinator has %.12s); quarantining its "
+                "shard, not merging", worker.id, digest,
+                self._fingerprint,
+            )
+            reassign(unfinished(worker))
+            self._send(worker, {"type": MSG_SHUTDOWN})
+            if worker.shard_dir is not None:
+                self._quarantine_shard(worker.id, worker.shard_dir)
+            else:
+                self.dist_counters.increment("desyncs")
+
+        def progress() -> None:
+            get_progress().update_section(
+                "dist",
+                workers=self.workers,
+                alive=sum(1 for w in fleet if w.alive),
+                groups=len(items),
+                merged=len(done),
+                lost=self.dist_counters["lost"],
+                desyncs=self.dist_counters["desyncs"],
+            )
+
+        progress()
+        try:
+            while len(done) + len(inline) + len(failures) < len(items):
+                if self._shutdown is not None and \
+                        self._shutdown.requested:
+                    break
+                # Keep every ready worker busy with one group at a
+                # time; a dead stdin pipe at dispatch is a loss.
+                for worker in fleet:
+                    if not worker.ready or worker.assigned or \
+                            not backlog[worker.id]:
+                        continue
+                    gid = backlog[worker.id].pop(0)
+                    key, configs = items[gid]
+                    if self._send(worker, {
+                        "type": MSG_ASSIGN, "gid": gid,
+                        "configs": list(configs),
+                    }):
+                        worker.assigned.add(gid)
+                    else:
+                        backlog[worker.id].insert(0, gid)
+                        declare_lost(worker, "stdin pipe closed")
+                try:
+                    worker, message = self._events.get(
+                        timeout=_POLL_SLICE_S
+                    )
+                except queue.Empty:
+                    for worker in fleet:
+                        if worker.alive and self._stale(worker):
+                            declare_lost(worker, "heartbeat silence")
+                    continue
+                if by_id.get(worker.id) is not worker:
+                    # Trailing event from a replaced incarnation.
+                    continue
+                if message is None:
+                    if worker.alive:
+                        declare_lost(worker, "pipe EOF")
+                    continue
+                kind = message["type"]
+                if kind == MSG_HELLO:
+                    digest = message.get("fingerprint", "")
+                    worker.fingerprint = digest
+                    if digest != self._fingerprint:
+                        declare_desynced(worker, digest)
+                elif kind == MSG_HEARTBEAT:
+                    self.dist_counters.increment("heartbeats")
+                elif kind == MSG_RESULT:
+                    gid = message["gid"]
+                    worker.assigned.discard(gid)
+                    digest = message.get("fingerprint", "")
+                    if digest != self._fingerprint:
+                        # Desync detected at merge time: drop the
+                        # payload and redo the group elsewhere.
+                        declare_desynced(worker, digest)
+                        continue
+                    for config, result in message["pairs"]:
+                        self._finish(config, result)
+                    done.add(gid)
+                    self.dist_counters.increment("merged")
+                    progress()
+                elif kind == MSG_ERROR:
+                    gid = message["gid"]
+                    worker.assigned.discard(gid)
+                    done.add(gid)  # terminal: do not retry elsewhere
+                    self.dist_counters.increment("errors")
+                    key, _configs = items[gid]
+                    failures.append(TaskExecutionError(
+                        f"worker {worker.id} failed scenario group "
+                        f"{gid[:12]}: {message.get('error', '?')}",
+                        context={
+                            "worker": worker.id,
+                            "benchmark": getattr(
+                                key, "benchmark", "?"
+                            ),
+                            "gid": gid,
+                        },
+                    ))
+                # MSG_BYE and anything else: nothing to do.
+        except BaseException:
+            self.close()
+            raise
+        finally:
+            progress()
+        if self._shutdown is not None and self._shutdown.requested:
+            # Two-stage shutdown: wind the fleet down (workers journal
+            # and exit), then surface the request to the caller.
+            self.close()
+            self._shutdown.check()
+        if inline:
+            # Bounded reassignment exhausted (or no survivors):
+            # finish the stragglers in-process. Results land in the
+            # same store; bit-identity is preserved by construction.
+            _LOG.warning(
+                "running %d scenario group(s) inline after worker "
+                "losses: %s", len(inline),
+                ", ".join(gid[:12] for gid in sorted(inline)),
+            )
+            leftover = {
+                items[gid][0]: items[gid][1] for gid in sorted(inline)
+            }
+            super()._run_groups(leftover)
+        if failures:
+            raise failures[0]

@@ -1,0 +1,150 @@
+"""The coordinator/worker wire protocol: framed, checksummed pickles.
+
+Every message is a plain dict with a ``"type"`` key, pickled and
+wrapped in the result store's integrity frame
+(:func:`repro.sim.store.frame_payload`: magic prefix, 8-byte
+big-endian payload length, SHA-256 over the payload). Reusing the
+PR 4 framing means a torn or bit-flipped frame is detected before
+``pickle`` ever parses hostile bytes, on the wire exactly as on disk.
+
+Message types:
+
+``hello``
+    Worker -> coordinator, once at startup: worker id, pid, and the
+    worker's constants-fingerprint digest. A digest that differs from
+    the coordinator's own is a *shard desync* -- the worker would
+    compute results under different architectural constants -- and the
+    coordinator quarantines the shard instead of assigning to it.
+``assign``
+    Coordinator -> worker: one scenario group (the shared scenario
+    config plus every member config) to capture and replay.
+``result``
+    Worker -> coordinator: the group's ``(config, result)`` pairs,
+    plus the fingerprint digest again (re-checked at merge time).
+``error``
+    Worker -> coordinator: the group failed permanently (retries
+    exhausted inside the worker); carries the error text.
+``heartbeat``
+    Worker -> coordinator, periodically from a side thread; silence
+    past ``COLT_HEARTBEAT_TIMEOUT`` marks the worker lost.
+``shutdown``
+    Coordinator -> worker: finish the in-flight group, journal, and
+    exit (stage one of the two-stage shutdown).
+``bye``
+    Worker -> coordinator: acknowledges shutdown / end of input.
+
+A clean EOF at a frame boundary reads as ``None``; a partial or
+corrupt frame raises :class:`ProtocolError` (the coordinator treats
+both as a lost worker).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from typing import BinaryIO, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.store import (
+    STORE_MAGIC,
+    constants_fingerprint,
+    frame_payload,
+    unframe_payload,
+)
+
+#: Frame header: magic + 8-byte big-endian payload length + SHA-256.
+HEADER_LEN = len(STORE_MAGIC) + 8 + 32
+
+#: Refuse frames claiming more than this many payload bytes -- a
+#: corrupt length field must not turn into an unbounded read.
+MAX_PAYLOAD = 1 << 30
+
+MSG_HELLO = "hello"
+MSG_ASSIGN = "assign"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_HEARTBEAT = "heartbeat"
+MSG_SHUTDOWN = "shutdown"
+MSG_BYE = "bye"
+
+
+class ProtocolError(SimulationError):
+    """A wire frame was torn, corrupt, or structurally invalid."""
+
+
+def fingerprint_digest() -> str:
+    """SHA-256 digest of this process's constants fingerprint.
+
+    Both ends compute it independently; a mismatch means worker and
+    coordinator would not agree on what any result *means*, so the
+    worker's shard must be quarantined, never merged.
+    """
+    canonical = json.dumps(
+        constants_fingerprint(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_message(stream: BinaryIO, message: dict) -> None:
+    """Frame and write one message; flushes so the peer sees it now."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(frame_payload(payload))
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int, anything: bool) -> bytes:
+    """Read exactly ``count`` bytes; empty at a frame boundary is EOF.
+
+    ``anything`` marks that part of a frame was already consumed, so a
+    short read is a torn frame rather than a clean end of stream.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    data = b"".join(chunks)
+    if len(data) == count:
+        return data
+    if not data and not anything:
+        return b""  # clean EOF between frames
+    raise ProtocolError(
+        f"torn wire frame: wanted {count} bytes, stream ended after "
+        f"{len(data)}"
+    )
+
+
+def read_message(stream: BinaryIO) -> Optional[dict]:
+    """Read one framed message; None on clean EOF.
+
+    Raises :class:`ProtocolError` on a torn frame, checksum mismatch,
+    oversized length field, or a payload that is not a typed dict.
+    """
+    header = _read_exact(stream, HEADER_LEN, anything=False)
+    if not header:
+        return None
+    if not header.startswith(STORE_MAGIC):
+        raise ProtocolError("wire frame lacks the store magic prefix")
+    magic_len = len(STORE_MAGIC)
+    length = int.from_bytes(header[magic_len:magic_len + 8], "big")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"wire frame claims {length} payload bytes "
+            f"(cap {MAX_PAYLOAD}); refusing"
+        )
+    payload = _read_exact(stream, length, anything=True)
+    try:
+        message = pickle.loads(unframe_payload(header + payload))
+    except (ValueError, pickle.UnpicklingError, EOFError,
+            AttributeError, ImportError, IndexError, KeyError,
+            TypeError) as exc:
+        raise ProtocolError(f"undecodable wire frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(
+            f"wire message is not a typed dict: {type(message).__name__}"
+        )
+    return message

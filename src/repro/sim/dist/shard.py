@@ -1,0 +1,207 @@
+"""Deterministic sharding and the per-shard write-ahead journal.
+
+**Assignment.** A scenario group is identified by the content hash of
+its shared scenario config (:func:`repro.sim.store.config_key` -- the
+same hash that keys the result store), and lands on worker
+``int(hash, 16) % workers``. No wall-clock, no scheduling order: the
+same matrix shards identically on every run, so a resumed campaign
+re-creates the same shards and every shard store/journal lines up
+with its previous incarnation. Reassignment after a lost worker is
+equally deterministic: the group re-hashes over the sorted list of
+*surviving* worker ids.
+
+**Journal.** Each worker keeps a write-ahead journal of its shard in
+its own shard directory: group status (``pending``/``running``/
+``done``/``failed``) plus the worker's constants-fingerprint digest.
+Transitions are journaled before/after the work they describe and
+every rewrite is atomic *and integrity-framed* (the store's SHA-256
+frame), so the coordinator's merge can trust any journal it can
+decode -- and a torn journal write (the ``torn@dist.journal`` fault,
+or a real kill mid-write of a non-atomic filesystem) is detected by
+the frame check and degrades to "no journal", never to a wrong one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.atomicio import atomic_write_bytes
+from repro.obs.logging import get_logger
+from repro.sim.faults import FaultPlan, corrupt_bytes
+from repro.sim.store import config_key, frame_payload, unframe_payload
+
+_LOG = get_logger(__name__)
+
+#: Journal schema version (bump on layout changes).
+SHARD_JOURNAL_VERSION = 1
+
+#: Journal file name inside a worker's shard directory.
+JOURNAL_NAME = "shard-journal.bin"
+
+GROUP_PENDING = "pending"
+GROUP_RUNNING = "running"
+GROUP_DONE = "done"
+GROUP_FAILED = "failed"
+
+
+def group_id(scenario_key) -> str:
+    """Stable content hash identifying one scenario group."""
+    return config_key(scenario_key)
+
+
+def assign_worker(gid: str, worker_ids: Sequence[int]) -> int:
+    """The worker a group lands on, over any ordered id subset."""
+    ordered = sorted(worker_ids)
+    return ordered[int(gid, 16) % len(ordered)]
+
+
+def assign_groups(
+    gids: Sequence[str], worker_ids: Sequence[int]
+) -> Dict[str, int]:
+    """Deterministic group -> worker map (hash mod worker count)."""
+    return {gid: assign_worker(gid, worker_ids) for gid in gids}
+
+
+class ShardJournal:
+    """One worker's write-ahead journal of its shard.
+
+    Mirrors the campaign manifest's discipline at group granularity:
+    ``mark_running`` precedes the group's batch, ``mark_done`` /
+    ``mark_failed`` follow it, and every mutation rewrites the whole
+    (small) document atomically inside the integrity frame.
+
+    Args:
+        path: journal file location (parent created on demand).
+        worker_id: owning worker.
+        fingerprint: the worker's constants-fingerprint digest, stored
+            so a merge can detect a journal written under foreign
+            constants.
+        faults: optional plan whose ``torn@dist.journal`` /
+            ``corrupt@dist.journal`` specs mutate journal writes,
+            indexed by this journal's write count.
+    """
+
+    def __init__(
+        self,
+        path,
+        worker_id: int,
+        fingerprint: str,
+        faults: Optional[FaultPlan] = None,
+        entries: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.worker_id = worker_id
+        self.fingerprint = fingerprint
+        self.entries: Dict[str, str] = dict(entries or {})
+        self._faults = faults
+        self._write_index = 0
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        worker_id: int,
+        fingerprint: str,
+        faults: Optional[FaultPlan] = None,
+    ) -> "ShardJournal":
+        """Load an existing journal, or start fresh.
+
+        An unreadable/torn/foreign-version journal degrades to a fresh
+        one with a warning: the journal is an optimisation and an
+        audit trail, never the source of truth for results (those are
+        content-hash verified in the stores).
+        """
+        journal = cls(path, worker_id, fingerprint, faults=faults)
+        data = read_journal(path)
+        if data is None:
+            return journal
+        if data.get("fingerprint") != fingerprint:
+            _LOG.warning(
+                "shard journal %s was written under a different "
+                "constants fingerprint; starting fresh", path,
+            )
+            return journal
+        journal.entries = {
+            str(gid): str(status)
+            for gid, status in data.get("groups", {}).items()
+        }
+        return journal
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "version": SHARD_JOURNAL_VERSION,
+                "worker": self.worker_id,
+                "fingerprint": self.fingerprint,
+                "groups": self.entries,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        frame = frame_payload(payload)
+        index = self._write_index
+        self._write_index += 1
+        if self._faults is not None:
+            kind = self._faults.corruption_at(
+                site="dist.journal", index=index
+            )
+            if kind is not None:
+                frame = corrupt_bytes(frame, kind)
+        atomic_write_bytes(self.path, frame)
+
+    def status(self, gid: str) -> str:
+        return self.entries.get(gid, GROUP_PENDING)
+
+    def done_ids(self) -> List[str]:
+        return [
+            gid for gid, status in self.entries.items()
+            if status == GROUP_DONE
+        ]
+
+    def mark_running(self, gid: str) -> None:
+        self.entries[gid] = GROUP_RUNNING
+        self.save()
+
+    def mark_done(self, gid: str) -> None:
+        self.entries[gid] = GROUP_DONE
+        self.save()
+
+    def mark_failed(self, gid: str) -> None:
+        self.entries[gid] = GROUP_FAILED
+        self.save()
+
+
+def read_journal(path) -> Optional[dict]:
+    """Decode a shard journal; None when absent, torn, or foreign.
+
+    Shared by the worker (:meth:`ShardJournal.open`) and the
+    coordinator's merge (fingerprint skew detection on sync), so both
+    apply the identical frame check.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        _LOG.debug("no shard journal at %s (fresh shard)", path)
+        return None
+    except OSError as exc:
+        _LOG.warning("unreadable shard journal %s: %s", path, exc)
+        return None
+    try:
+        data = json.loads(unframe_payload(blob).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        _LOG.warning(
+            "torn/corrupt shard journal %s (%s); ignoring it", path, exc
+        )
+        return None
+    if not isinstance(data, dict) or \
+            data.get("version") != SHARD_JOURNAL_VERSION:
+        _LOG.warning(
+            "shard journal %s has foreign version %r; ignoring it",
+            path, data.get("version") if isinstance(data, dict) else "?",
+        )
+        return None
+    return data

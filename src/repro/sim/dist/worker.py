@@ -1,0 +1,244 @@
+"""Worker subprocess entry point: ``python -m repro.sim.dist.worker``.
+
+A worker owns one shard: its own :class:`~repro.sim.store.ResultStore`
+under ``--shard-dir`` plus a :class:`~repro.sim.dist.shard.ShardJournal`
+write-ahead journal, and a private
+:class:`~repro.sim.runner.ExperimentRunner` that executes assigned
+scenario groups with ``--jobs`` local processes. All protocol traffic
+flows over stdin/stdout (which is why this module must never print);
+diagnostics go to stderr through the ``colt`` logger.
+
+Fault hooks (deterministic, from the inherited ``COLT_FAULTS`` plan,
+indexed by worker id):
+
+``worker-lost@dist``
+    arm at startup, hard-exit (``os._exit``) on the first assignment --
+    the coordinator sees EOF/heartbeat silence mid-group, exactly like
+    a worker host dying.
+``shard-desync@dist``
+    report a perturbed constants-fingerprint digest in ``hello`` and
+    every ``result`` -- the coordinator must quarantine this shard
+    rather than merge it.
+``torn@dist.journal`` / ``corrupt@dist.journal``
+    mutate shard-journal writes (see :mod:`repro.sim.dist.shard`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.common.errors import ShutdownRequested, SimulationError
+from repro.obs.logging import configure_logging, get_logger
+from repro.sim.dist import DEFAULT_HEARTBEAT_TIMEOUT
+from repro.sim.dist.protocol import (
+    MSG_ASSIGN,
+    MSG_BYE,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    fingerprint_digest,
+    read_message,
+    write_message,
+)
+from repro.sim.dist.shard import JOURNAL_NAME, ShardJournal
+from repro.sim.faults import CRASH_EXIT_CODE, FaultPlan
+from repro.sim.runner import ExperimentRunner
+from repro.sim.store import ResultStore
+
+_LOG = get_logger(__name__)
+
+#: Heartbeats per timeout window; 4 gives the coordinator three missed
+#: beats of slack before the deadline.
+_BEATS_PER_TIMEOUT = 4
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.dist.worker",
+        description="distributed campaign worker (internal entry point)",
+    )
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument(
+        "--shard-dir", default=None,
+        help="shard directory (store + write-ahead journal); "
+        "omitted = storeless",
+    )
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--engine", default=None)
+    parser.add_argument(
+        "--heartbeat", type=float, default=DEFAULT_HEARTBEAT_TIMEOUT,
+        help="coordinator's worker-lost timeout in seconds; heartbeats "
+        "are sent several times per window",
+    )
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    return parser
+
+
+class _Heartbeat:
+    """Periodic ``heartbeat`` sender on a daemon thread.
+
+    Shares the stdout lock with the main loop so heartbeats never
+    interleave with result frames. Paced by ``Event.wait`` -- no
+    wall-clock reads in the worker.
+    """
+
+    def __init__(self, stream, lock: threading.Lock,
+                 worker_id: int, timeout: float) -> None:
+        self._stream = stream
+        self._lock = lock
+        self._worker_id = worker_id
+        self._interval = max(0.05, timeout / _BEATS_PER_TIMEOUT)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="dist-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        message = {"type": MSG_HEARTBEAT, "worker": self._worker_id}
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    write_message(self._stream, message)
+            except (OSError, ValueError) as exc:
+                # Coordinator went away (broken/closed pipe); the main
+                # loop will see EOF on stdin and exit on its own.
+                _LOG.debug("heartbeat write failed: %s", exc)
+                return
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    configure_logging(args.verbose)
+    # The coordinator owns shutdown: on SIGINT it tells workers to wind
+    # down over the protocol, so a terminal Ctrl+C (delivered to the
+    # whole foreground group) must not also kill workers directly.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    out_lock = threading.Lock()
+
+    plan = FaultPlan.from_env()
+    fingerprint = fingerprint_digest()
+    lost_armed = False
+    if plan is not None:
+        kind = plan.dist_fault(site="dist", index=args.worker_id)
+        if kind == "shard-desync":
+            # Simulate a worker built against skewed constants: every
+            # digest this worker reports disagrees with the
+            # coordinator's own.
+            fingerprint = "desync-" + fingerprint
+            _LOG.warning(
+                "worker %d: injected shard-desync (perturbed "
+                "fingerprint)", args.worker_id,
+            )
+        elif kind == "worker-lost":
+            lost_armed = True
+            _LOG.warning(
+                "worker %d: injected worker-lost armed (will die on "
+                "first assignment)", args.worker_id,
+            )
+
+    store: Optional[ResultStore] = None
+    journal: Optional[ShardJournal] = None
+    if args.shard_dir:
+        shard_dir = Path(args.shard_dir)
+        # Store-site (torn@store / corrupt@store) faults stay with the
+        # coordinator's primary store; shard stores only take the
+        # dist.journal faults, through the journal.
+        store = ResultStore(shard_dir / "store", faults=FaultPlan(()))
+        journal = ShardJournal.open(
+            shard_dir / JOURNAL_NAME, args.worker_id, fingerprint,
+            faults=plan,
+        )
+
+    runner = ExperimentRunner(
+        jobs=args.jobs, store=store, engine=args.engine
+    )
+
+    heartbeat = _Heartbeat(
+        stdout, out_lock, args.worker_id, args.heartbeat
+    )
+    with out_lock:
+        write_message(stdout, {
+            "type": MSG_HELLO,
+            "worker": args.worker_id,
+            "pid": os.getpid(),
+            "fingerprint": fingerprint,
+        })
+    heartbeat.start()
+
+    exit_code = 0
+    while True:
+        message = read_message(stdin)
+        if message is None:
+            _LOG.info("worker %d: coordinator closed the pipe",
+                      args.worker_id)
+            break
+        kind = message["type"]
+        if kind == MSG_SHUTDOWN:
+            with out_lock:
+                write_message(stdout, {
+                    "type": MSG_BYE, "worker": args.worker_id,
+                })
+            break
+        if kind != MSG_ASSIGN:
+            _LOG.warning("worker %d: ignoring unexpected %r message",
+                         args.worker_id, kind)
+            continue
+        if lost_armed:
+            # Injected worker loss: die exactly like a killed host --
+            # no journal write, no farewell, not even atexit handlers.
+            os._exit(CRASH_EXIT_CODE)
+        gid = message["gid"]
+        configs = message["configs"]
+        if journal is not None:
+            journal.mark_running(gid)
+        try:
+            results = runner.run_batch(configs)
+            pairs = [(config, results[config]) for config in configs]
+        except ShutdownRequested:
+            exit_code = 75
+            break
+        except SimulationError as exc:
+            if journal is not None:
+                journal.mark_failed(gid)
+            with out_lock:
+                write_message(stdout, {
+                    "type": MSG_ERROR,
+                    "worker": args.worker_id,
+                    "gid": gid,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+            continue
+        if journal is not None:
+            journal.mark_done(gid)
+        with out_lock:
+            write_message(stdout, {
+                "type": MSG_RESULT,
+                "worker": args.worker_id,
+                "gid": gid,
+                "fingerprint": fingerprint,
+                "pairs": pairs,
+            })
+
+    heartbeat.stop()
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

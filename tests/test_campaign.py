@@ -154,10 +154,10 @@ class TestCampaignManifest:
         manifest.mark_running("b")
         # The process dies here; resume repairs the journal.
         resumed = CampaignManifest.load(tmp_path / "m.json")
-        assert resumed.demote_running() == 1
+        assert resumed.demote_running() == ["b"]
         assert resumed.status("b") == STATUS_PENDING
         assert resumed.status("a") == STATUS_DONE
-        assert resumed.demote_running() == 0
+        assert resumed.demote_running() == []
 
     def test_load_rejects_missing_and_garbage(self, tmp_path):
         with pytest.raises(CampaignError, match="no campaign journal"):
@@ -500,7 +500,7 @@ class TestCampaignRunner:
         assert journal.status("b") == STATUS_RUNNING
 
         # Resume demotes the orphaned entry and finishes the campaign.
-        assert journal.demote_running() == 1
+        assert journal.demote_running() == ["b"]
         campaign2 = CampaignRunner(
             journal, runner=None, scale=None,
             tables_dir=tmp_path / "tables",

@@ -1,0 +1,360 @@
+"""Distributed sharded campaigns: protocol, journal, coordinator.
+
+The distributed layer's contract mirrors the chaos matrix's: sharding
+is deterministic (same matrix, same shards, every run), the wire and
+the shard journal share the store's integrity frame (torn bytes are
+detected, never decoded), and every fault path -- lost workers,
+desynced shards, torn journals -- converges on results *bit-identical*
+to a single-host run.
+"""
+
+import dataclasses
+import io
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigurationError, InjectedFaultError
+from repro.core.mmu import CoLTDesign
+from repro.osmem.kernel import KernelConfig
+from repro.osmem.memhog import SIMULATION_AGING
+from repro.sim.dist.coordinator import (
+    DIST_QUARANTINE_DIR,
+    SHARDS_DIR,
+    DistributedRunner,
+)
+from repro.sim.dist.protocol import (
+    MSG_HELLO,
+    ProtocolError,
+    fingerprint_digest,
+    read_message,
+    write_message,
+)
+from repro.sim.dist.shard import (
+    GROUP_DONE,
+    GROUP_FAILED,
+    GROUP_PENDING,
+    GROUP_RUNNING,
+    JOURNAL_NAME,
+    ShardJournal,
+    assign_groups,
+    assign_worker,
+    read_journal,
+)
+from repro.sim.faults import (
+    DIST_KINDS,
+    FAULTS_ENV,
+    EXECUTION_KINDS,
+    FaultPlan,
+    STORE_KINDS,
+)
+from repro.sim.runner import ExperimentRunner
+from repro.sim.store import ResultStore
+from repro.sim.system import SimulationConfig
+
+
+# ----------------------------------------------------------------------
+# Wire protocol.
+# ----------------------------------------------------------------------
+
+
+def _round_trip(message):
+    buffer = io.BytesIO()
+    write_message(buffer, message)
+    buffer.seek(0)
+    return buffer
+
+
+def test_protocol_round_trip():
+    message = {"type": MSG_HELLO, "worker": 3, "payload": [1, "two"]}
+    assert read_message(_round_trip(message)) == message
+
+
+def test_protocol_clean_eof_is_none():
+    assert read_message(io.BytesIO(b"")) is None
+
+
+def test_protocol_back_to_back_frames():
+    buffer = io.BytesIO()
+    write_message(buffer, {"type": "a"})
+    write_message(buffer, {"type": "b"})
+    buffer.seek(0)
+    assert read_message(buffer)["type"] == "a"
+    assert read_message(buffer)["type"] == "b"
+    assert read_message(buffer) is None
+
+
+def test_protocol_torn_frame_raises():
+    blob = _round_trip({"type": MSG_HELLO, "worker": 0}).getvalue()
+    for cut in (5, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(blob[:cut]))
+
+
+def test_protocol_bit_flip_raises():
+    blob = bytearray(_round_trip({"type": MSG_HELLO}).getvalue())
+    blob[-1] ^= 0x5A
+    with pytest.raises(ProtocolError):
+        read_message(io.BytesIO(bytes(blob)))
+
+
+def test_protocol_wrong_magic_raises():
+    with pytest.raises(ProtocolError):
+        read_message(io.BytesIO(b"X" * 64))
+
+
+def test_protocol_untyped_payload_raises():
+    buffer = io.BytesIO()
+    write_message(buffer, {"no_type_key": 1})
+    buffer.seek(0)
+    with pytest.raises(ProtocolError):
+        read_message(buffer)
+
+
+def test_fingerprint_digest_is_stable():
+    assert fingerprint_digest() == fingerprint_digest()
+    assert len(fingerprint_digest()) == 64
+
+
+# ----------------------------------------------------------------------
+# Deterministic sharding.
+# ----------------------------------------------------------------------
+
+_GIDS = ["%040x" % (i * 2654435761) for i in range(40)]
+
+
+def test_assignment_is_deterministic():
+    first = assign_groups(_GIDS, [0, 1, 2])
+    assert first == assign_groups(list(reversed(_GIDS)), [2, 1, 0])
+    assert set(first.values()) <= {0, 1, 2}
+
+
+def test_assignment_uses_every_worker():
+    placed = set(assign_groups(_GIDS, [0, 1, 2]).values())
+    assert placed == {0, 1, 2}
+
+
+def test_reassignment_over_survivors():
+    gid = _GIDS[0]
+    full = assign_worker(gid, [0, 1, 2])
+    survivors = [w for w in (0, 1, 2) if w != full]
+    moved = assign_worker(gid, survivors)
+    assert moved in survivors
+    # Survivor order must not matter.
+    assert moved == assign_worker(gid, list(reversed(survivors)))
+
+
+# ----------------------------------------------------------------------
+# Shard journal (write-ahead, integrity-framed).
+# ----------------------------------------------------------------------
+
+
+def test_journal_write_ahead_lifecycle(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    journal = ShardJournal(path, worker_id=1, fingerprint="fp")
+    assert journal.status("g1") == GROUP_PENDING
+    journal.mark_running("g1")
+    assert read_journal(path)["groups"] == {"g1": GROUP_RUNNING}
+    journal.mark_done("g1")
+    journal.mark_failed("g2")
+    reopened = ShardJournal.open(path, worker_id=1, fingerprint="fp")
+    assert reopened.status("g1") == GROUP_DONE
+    assert reopened.status("g2") == GROUP_FAILED
+    assert reopened.done_ids() == ["g1"]
+
+
+def test_journal_torn_write_degrades_to_fresh(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    plan = FaultPlan.parse("torn@dist.journal:1")
+    journal = ShardJournal(path, worker_id=0, fingerprint="fp",
+                           faults=plan)
+    journal.mark_done("g1")   # write 0: intact
+    journal.mark_done("g2")   # write 1: torn mid-frame
+    assert read_journal(path) is None
+    reopened = ShardJournal.open(path, worker_id=0, fingerprint="fp")
+    assert reopened.entries == {}
+
+
+def test_journal_corrupt_write_detected(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    plan = FaultPlan.parse("corrupt@dist.journal:0")
+    ShardJournal(path, worker_id=0, fingerprint="fp",
+                 faults=plan).mark_done("g1")
+    assert read_journal(path) is None
+
+
+def test_journal_foreign_fingerprint_starts_fresh(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    ShardJournal(path, worker_id=0, fingerprint="old").mark_done("g1")
+    reopened = ShardJournal.open(path, worker_id=0, fingerprint="new")
+    assert reopened.entries == {}
+
+
+def test_journal_absent_reads_none(tmp_path):
+    assert read_journal(tmp_path / "missing.bin") is None
+
+
+# ----------------------------------------------------------------------
+# Fault grammar edge cases (satellite).
+# ----------------------------------------------------------------------
+
+
+def test_fault_times_exhaustion_at_same_site():
+    plan = FaultPlan.parse("raise@capture:0x2")
+    for attempt in (0, 1):
+        with pytest.raises(InjectedFaultError):
+            plan.fire("capture", 0, attempt)
+    # Attempt 2 exhausts x2: the site goes quiet, forever.
+    plan.fire("capture", 0, 2)
+    plan.fire("capture", 0, 3)
+    assert plan.counters["raise"] == 2
+
+
+def test_overlapping_specs_first_wins():
+    plan = FaultPlan.parse(
+        "torn@store.write:0;corrupt@store.write:0"
+    )
+    assert plan.corruption(0) == "torn"
+    # Both specs parsed; precedence is declaration order, every time.
+    assert [spec.kind for spec in plan.specs] == ["torn", "corrupt"]
+    assert plan.corruption(0) == "torn"
+
+
+def test_dist_kind_rejects_task_site():
+    with pytest.raises(ConfigurationError, match=r"targets 'dist'"):
+        FaultPlan.parse("worker-lost@capture:0")
+
+
+def test_store_kind_rejects_dist_site():
+    with pytest.raises(ConfigurationError,
+                       match=r"targets 'store.write'"):
+        FaultPlan.parse("torn@dist:0")
+
+
+def test_execution_kind_rejects_dist_site():
+    with pytest.raises(ConfigurationError, match=r"task sites"):
+        FaultPlan.parse("crash@dist:0")
+
+
+def test_unknown_kind_lists_vocabulary():
+    with pytest.raises(ConfigurationError) as excinfo:
+        FaultPlan.parse("explode@capture:0")
+    text = str(excinfo.value)
+    assert "unknown fault kind" in text
+    for kind in EXECUTION_KINDS + STORE_KINDS + DIST_KINDS:
+        assert kind in text
+
+
+def test_unparseable_spec_names_grammar():
+    with pytest.raises(ConfigurationError,
+                       match=r"cannot parse fault spec"):
+        FaultPlan.parse("worker-lost@dist")  # no index
+
+
+# ----------------------------------------------------------------------
+# End-to-end: DistributedRunner vs the single-host oracle.
+# ----------------------------------------------------------------------
+
+#: Two scenario groups (>= 2 so the coordinator actually distributes),
+#: two designs each -- small enough for CI, structured enough to cross
+#: the wire, the shard stores, and the merge loop.
+_BENCHMARKS = ("mcf", "astar")
+
+
+def _dist_config(benchmark):
+    return SimulationConfig(
+        benchmark=benchmark,
+        kernel=KernelConfig(num_frames=4096),
+        accesses=1000,
+        scale=0.1,
+        seed=11,
+        aging=SIMULATION_AGING,
+        churn_every=48,
+    )
+
+
+def _dist_matrix():
+    return [
+        _dist_config(benchmark).with_updates(design=design)
+        for benchmark in _BENCHMARKS
+        for design in (CoLTDesign.BASELINE, CoLTDesign.COLT_ALL)
+    ]
+
+
+def _pickled(results):
+    # Field-wise pickles: whole-result pickles can differ in memo
+    # opcodes (object-graph sharing) between a result built in-process
+    # and one that crossed the wire, with every value bit-identical.
+    return {
+        config: tuple(
+            pickle.dumps(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+        )
+        for config, result in results.items()
+    }
+
+
+@pytest.fixture
+def single_host_oracle():
+    return _pickled(ExperimentRunner(jobs=1).run_batch(_dist_matrix()))
+
+
+def test_distributed_matches_single_host(monkeypatch,
+                                         single_host_oracle):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    runner = DistributedRunner(workers=2, jobs=2)
+    try:
+        results = _pickled(runner.run_batch(_dist_matrix()))
+    finally:
+        runner.close()
+    assert results == single_host_oracle
+    assert runner.dist_counters["merged"] == len(_BENCHMARKS)
+    assert runner.dist_counters["lost"] == 0
+
+
+def test_worker_lost_recovers_bit_identical(monkeypatch,
+                                            single_host_oracle):
+    # Arm every worker: whichever receives the first assignment dies,
+    # so a loss fires regardless of how the groups hash out.
+    monkeypatch.setenv(FAULTS_ENV, "worker-lost@dist:0,1")
+    runner = DistributedRunner(workers=2, jobs=2)
+    try:
+        results = _pickled(runner.run_batch(_dist_matrix()))
+    finally:
+        runner.close()
+    assert results == single_host_oracle
+    assert runner.dist_counters["lost"] >= 1
+    # Both workers armed means the fleet can die entirely; the inline
+    # fallback must still deliver every group.
+    finished = (runner.dist_counters["merged"]
+                + runner.dist_counters["inline"])
+    assert finished == len(_BENCHMARKS)
+
+
+def test_desync_quarantined_bit_identical(monkeypatch, tmp_path,
+                                          single_host_oracle):
+    monkeypatch.setenv(FAULTS_ENV, "shard-desync@dist:0,1")
+    store = ResultStore(tmp_path / "store")
+    runner = DistributedRunner(workers=2, jobs=2, store=store)
+    try:
+        results = _pickled(runner.run_batch(_dist_matrix()))
+    finally:
+        runner.close()
+    assert results == single_host_oracle
+    assert runner.dist_counters["desyncs"] >= 1
+    quarantine = tmp_path / "store" / "dist" / DIST_QUARANTINE_DIR
+    assert quarantine.is_dir() and any(quarantine.iterdir())
+    # Nothing from a desynced shard may reach the primary store's
+    # merge path.
+    shards = tmp_path / "store" / "dist" / SHARDS_DIR
+    assert not shards.exists() or not any(shards.iterdir())
+
+
+def test_single_group_runs_in_process(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    runner = DistributedRunner(workers=3, jobs=1)
+    config = _dist_config("mcf")
+    results = runner.run_batch([config])
+    assert set(results) == {config}
+    # One group never crosses the wire: no fleet, no dist traffic.
+    assert runner.dist_counters["workers"] == 0

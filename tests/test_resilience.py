@@ -291,6 +291,7 @@ class TestHardenedStore:
         store.save(config, result)       # write 2: intact
         assert plan.counters.as_dict() == {
             "crash": 0, "raise": 0, "delay": 0, "torn": 1, "corrupt": 1,
+            "worker-lost": 0, "shard-desync": 0,
         }
         fresh = ResultStore(tmp_path / "cache")
         assert fresh.load(victim_a) is None

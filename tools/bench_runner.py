@@ -28,6 +28,13 @@ retry policy, per-task deadline and a never-matching fault plan
 attached, and fails if the fault-free machinery costs more than ``X``
 times the plain parallel run.
 
+``--max-dist-overhead X`` times the same pipeline under the
+distributed coordinator (``DistributedRunner`` with ``--dist-workers``
+worker subprocesses, aggregate parallelism matched to ``--jobs``),
+writes the timings and ``colt_dist`` counters to ``BENCH_dist.json``
+(``--dist-output``), and fails if coordinating costs more than ``X``
+times the plain parallel run (CI pins 1.3x at QUICK scale).
+
 ``--min-vector-speedup X`` arms a separate replay-engine phase: every
 QUICK benchmark is captured once, then replayed under all five designs
 by both the scalar oracle and the vectorized engine
@@ -58,6 +65,7 @@ sys.path.insert(
 
 from repro.core.mmu import CoLTDesign  # noqa: E402
 from repro.obs.trace import TRACE_ENV, reset_tracing  # noqa: E402
+from repro.sim.dist.coordinator import DistributedRunner  # noqa: E402
 from repro.sim.engine.vector import vector_replay_scenario  # noqa: E402
 from repro.sim.faults import FaultPlan  # noqa: E402
 from repro.sim.replay import replay_scenario  # noqa: E402
@@ -147,6 +155,33 @@ def _resilience_phase(jobs: int) -> dict:
     total = time.perf_counter() - started
     counts = runner.resilience_counters.as_dict()
     return {"total_s": round(total, 3), "tasks": counts["tasks"]}
+
+
+def _dist_phase(jobs: int, workers: int) -> dict:
+    """Time the pipeline under the distributed coordinator.
+
+    Storeless (no shard sync, no journal I/O in the way): this
+    measures the pure cost of sharding, the wire protocol, and the
+    merge loop, with aggregate parallelism matched to ``jobs``.
+    """
+    runner = DistributedRunner(workers=workers, jobs=jobs)
+    started = time.perf_counter()
+    try:
+        timings = _time_pipeline(runner)
+    finally:
+        runner.close()
+    total = time.perf_counter() - started
+    counts = {
+        k: v for k, v in runner.dist_counters.as_dict().items() if v
+    }
+    return {
+        "scale": "quick",
+        "workers": workers,
+        "jobs": jobs,
+        "wall_clock_s": {k: round(v, 3) for k, v in timings.items()},
+        "total_s": round(total, 3),
+        "counters": counts,
+    }
 
 
 def _results_identical(scalar, vector) -> bool:
@@ -251,6 +286,21 @@ def main(argv=None) -> int:
              "plain parallel time",
     )
     parser.add_argument(
+        "--max-dist-overhead", type=float, default=None, metavar="X",
+        help="also run the pipeline under the distributed coordinator "
+             "(--dist-workers subprocesses) and fail if it exceeds X "
+             "times the plain parallel time",
+    )
+    parser.add_argument(
+        "--dist-workers", type=int, default=3, metavar="N",
+        help="worker subprocesses for the distributed phase "
+             "(default: 3)",
+    )
+    parser.add_argument(
+        "--dist-output", default="BENCH_dist.json", metavar="FILE",
+        help="where to write the distributed-phase JSON artifact",
+    )
+    parser.add_argument(
         "--min-vector-speedup", type=float, default=None, metavar="X",
         help="also time scalar-vs-vector replay over every QUICK "
              "benchmark and design, verify bit-identity, and fail if "
@@ -326,6 +376,20 @@ def main(argv=None) -> int:
             args.max_resilience_overhead
         )
 
+    dist_report = None
+    dist_overhead = None
+    if args.max_dist_overhead is not None:
+        dist_report = _dist_phase(args.jobs, args.dist_workers)
+        dist_overhead = (
+            dist_report["total_s"] / par_total if par_total > 0 else 0.0
+        )
+        dist_report["overhead_ratio"] = round(dist_overhead, 3)
+        dist_report["max_overhead_ratio"] = args.max_dist_overhead
+        dist_report["parallel_total_s"] = round(par_total, 3)
+        with open(args.dist_output, "w") as handle:
+            json.dump(dist_report, handle, indent=2)
+            handle.write("\n")
+
     vector_report = None
     if args.min_vector_speedup is not None:
         vector_report = _vector_phase()
@@ -359,6 +423,11 @@ def main(argv=None) -> int:
         print(f"resilience ovrhd  : {resilience_overhead:8.2f}x "
               f"({report['resilience']['tasks']} tasks, threshold "
               f"{args.max_resilience_overhead}x)")
+    if dist_overhead is not None:
+        print(f"distributed ovrhd : {dist_overhead:8.2f}x "
+              f"({dist_report['counters'].get('merged', 0)} groups "
+              f"merged over {args.dist_workers} workers, threshold "
+              f"{args.max_dist_overhead}x); wrote {args.dist_output}")
     if vector_report is not None:
         print(f"vector replay     : {vector_report['scalar_total_s']:8.2f}s "
               f"scalar / {vector_report['vector_total_s']:.2f}s vector = "
@@ -384,6 +453,13 @@ def main(argv=None) -> int:
     ):
         print(f"FAIL: resilience overhead {resilience_overhead:.2f}x > "
               f"allowed {args.max_resilience_overhead}x", file=sys.stderr)
+        failed = True
+    if (
+        dist_overhead is not None
+        and dist_overhead > args.max_dist_overhead
+    ):
+        print(f"FAIL: distributed overhead {dist_overhead:.2f}x > "
+              f"allowed {args.max_dist_overhead}x", file=sys.stderr)
         failed = True
     if vector_report is not None:
         if not vector_report["identical"]:

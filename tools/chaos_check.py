@@ -1,39 +1,41 @@
 """Chaos invariant check: faulted runs must be bit-identical to clean.
 
-Runs the fig18 QUICK pipeline three times and compares results:
+Every mode drives the fig18 QUICK pipeline through some injected
+failure and proves the recovery machinery converges on the clean
+results. ``--list-modes`` enumerates them:
 
-1. **clean** -- no faults, cold temporary store A: the baseline table
-   and result set.
-2. **chaos** -- cold temporary store B with a ``COLT_FAULTS`` plan that
-   crashes a capture worker, raises in a replay task, and tears/flips
-   two store writes. The retry/recovery machinery must absorb all of it
-   and produce the *same* table and the same per-config results.
-3. **resume** -- a fresh fault-free runner over store B, whose on-disk
-   entries include the two corrupted writes. The hardened load path
-   must quarantine exactly those entries (never a silent unlink, never
-   a crash), recompute them, and again match the clean results.
+``store`` (default)
+    Three in-process runs: **clean** (cold store A), **chaos** (cold
+    store B under a ``COLT_FAULTS`` plan that crashes a capture worker,
+    raises in a replay task, and tears/flips two store writes), and
+    **resume** (a fault-free runner over the corrupted store B, which
+    must quarantine exactly the corrupt entries and recompute them).
 
-``--campaign`` switches to the end-to-end campaign invariant instead:
-it drives ``python -m repro.experiments --campaign`` subprocesses
-through a clean run, a SIGTERM kill mid-campaign (must exit with the
-resumable status and leave a consistent write-ahead journal), a
-``--resume`` that finishes the journal with table dumps byte-identical
-to the clean run, and a stall-watchdog run whose delayed capture must
-produce a stack-dump artifact while still converging to the clean
-tables.
+``campaign`` (``--campaign``)
+    End-to-end campaign journal invariant via
+    ``python -m repro.experiments --campaign`` subprocesses: a clean
+    run, a SIGTERM kill mid-campaign (resumable exit status, consistent
+    write-ahead journal), a ``--resume`` to byte-identical tables, and
+    a stall-watchdog run that must dump stacks yet converge.
 
-``--telemetry`` checks the telemetry plane's crash discipline: a
-campaign serving ``--telemetry-port 0`` must answer /healthz, /progress
-and /metrics while running, shut the server down cleanly on SIGTERM
-(exit 75, port released), and still append a non-ok ``colt-history-v1``
-record for the killed run; the subsequent ``--resume`` must finish the
-journal and append an ``ok`` record to the same history file.
+``telemetry`` (``--telemetry``)
+    The telemetry plane's crash discipline: live /healthz, /progress
+    and /metrics probes mid-campaign, clean server shutdown on SIGTERM
+    (exit 75, port released), and ``colt-history-v1`` records for both
+    the killed and the resumed run.
 
-Exit status is non-zero on any divergence; the chaos CI job runs
-``python tools/chaos_check.py --jobs 2`` and
-``python tools/chaos_check.py --campaign --jobs 2``. Because injected
-faults only kill/delay/corrupt -- they never feed a number into a
-simulation -- any mismatch here is a real determinism or recovery bug.
+``distributed`` (``--distributed``)
+    The coordinator/worker layer (``--workers 3``): a clean distributed
+    campaign, a run where every worker is hard-killed on its first
+    assignment (``worker-lost@dist``), a run with a fingerprint-skewed
+    worker whose shard must be quarantined (``shard-desync@dist``, plus
+    torn shard-journal writes), and a SIGTERM kill + ``--resume``
+    cycle -- all required to produce tables byte-identical to the clean
+    single-host baseline.
+
+Exit status is non-zero on any divergence. Because injected faults only
+kill/delay/corrupt -- they never feed a number into a simulation -- any
+mismatch here is a real determinism or recovery bug.
 """
 
 from __future__ import annotations
@@ -57,6 +59,7 @@ sys.path.insert(
 )
 
 from repro.sim.campaign import SHUTDOWN_EXIT_CODE  # noqa: E402
+from repro.sim.dist.coordinator import DIST_QUARANTINE_DIR  # noqa: E402
 from repro.sim.faults import FaultPlan  # noqa: E402
 from repro.sim.resilience import RetryPolicy  # noqa: E402
 from repro.sim.runner import ExperimentRunner  # noqa: E402
@@ -93,6 +96,19 @@ HOLD_SECONDS = 10.0
 STALL_DELAY_SECONDS = 12.0
 STALL_TIMEOUT_SECONDS = 4.0
 
+#: Worker count for the distributed mode.
+DIST_WORKERS = 3
+
+#: Every worker dies on its first assignment: whatever the (content-
+#: hash-deterministic, but constants-dependent) group distribution is,
+#: at least one worker has work, so a loss always fires and the
+#: reassignment ladder is driven all the way to the inline fallback.
+DIST_LOST_PLAN = "worker-lost@dist:0,1,2"
+
+#: One fingerprint-skewed worker (desync fires at hello, so any index
+#: works), plus torn first journal writes on the healthy shards.
+DIST_DESYNC_PLAN = "shard-desync@dist:2;torn@dist.journal:0"
+
 
 def _run_pipeline(runner: ExperimentRunner) -> str:
     """Run the figure under ``runner``; return its formatted table."""
@@ -125,6 +141,10 @@ def _compare(name: str, clean: ExperimentRunner, other: ExperimentRunner,
     return failures
 
 
+# ----------------------------------------------------------------------
+# Shared campaign-subprocess helpers (used by every subprocess mode).
+# ----------------------------------------------------------------------
+
 def _campaign_env(faults: str = "") -> dict:
     """Subprocess environment: QUICK scale, src on path, chosen faults."""
     env = dict(os.environ)
@@ -137,10 +157,11 @@ def _campaign_env(faults: str = "") -> dict:
         env["COLT_FAULTS"] = faults
     else:
         env.pop("COLT_FAULTS", None)
-    # The phases below pass watchdog/telemetry knobs explicitly; ambient
-    # settings must not leak in.
+    # The phases below pass watchdog/telemetry/distribution knobs
+    # explicitly; ambient settings must not leak in.
     for var in ("COLT_STALL_TIMEOUT", "COLT_MEM_BUDGET", "COLT_DUMP_DIR",
-                "COLT_TELEMETRY_PORT", "COLT_HISTORY"):
+                "COLT_TELEMETRY_PORT", "COLT_HISTORY", "COLT_WORKERS",
+                "COLT_HEARTBEAT_TIMEOUT"):
         env.pop(var, None)
     return env
 
@@ -170,6 +191,200 @@ def _tables(cache_dir: str) -> dict:
     }
 
 
+def _checked_run(label: str, cache_dir: str, jobs: int, faults: str = "",
+                 ids=CAMPAIGN_IDS, extra=()):
+    """Run one campaign subprocess; None (after a FAIL line) on rc != 0.
+
+    The shared run half of every mode's run-and-compare step: build the
+    command, scrub the environment, capture output, complain uniformly.
+    """
+    result = subprocess.run(
+        _campaign_cmd(cache_dir, jobs, ids=ids, extra=extra),
+        env=_campaign_env(faults), capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        print(f"FAIL: {label} exited {result.returncode}\n"
+              f"{result.stdout}{result.stderr}", file=sys.stderr)
+        return None
+    return result
+
+
+def _compare_tables(label: str, cache_dir: str, clean_tables: dict) -> int:
+    """The shared compare half: table dumps must be byte-identical."""
+    tables = _tables(cache_dir)
+    if tables != clean_tables:
+        differing = sorted(
+            set(tables) ^ set(clean_tables)
+            | {name for name in tables
+               if clean_tables.get(name) != tables[name]}
+        )
+        print(f"FAIL: {label} tables differ from clean campaign: "
+              f"{differing}", file=sys.stderr)
+        return 1
+    print(f"  {label}: tables byte-identical to clean campaign")
+    return 0
+
+
+def _kill_after_first_table(label: str, cache_dir: str, jobs: int,
+                            faults: str, extra=()):
+    """Start a campaign and SIGTERM it once entry 0's table lands.
+
+    ``faults`` should hold entry 1 open (``delay@campaign:1/...``) so
+    the signal deterministically interrupts a *running* campaign.
+    Returns ``(returncode, combined_output)``, or None (after a FAIL
+    line) when the campaign ended before the window opened.
+    """
+    proc = subprocess.Popen(
+        _campaign_cmd(cache_dir, jobs, extra=extra),
+        env=_campaign_env(faults),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    first_table = Path(cache_dir) / "campaign" / "tables" / \
+        f"{CAMPAIGN_IDS[0]}.txt"
+    deadline = time.monotonic() + 300.0
+    while not first_table.exists():
+        if proc.poll() is not None or time.monotonic() > deadline:
+            out = proc.communicate()[0]
+            print(f"FAIL: {label} ended (rc={proc.returncode}) before "
+                  f"it could be killed\n{out}", file=sys.stderr)
+            return None
+        time.sleep(0.05)
+    proc.send_signal(signal.SIGTERM)
+    out = proc.communicate(timeout=120.0)[0]
+    return proc.returncode, out
+
+
+def _check_killed(label: str, rc: int, out: str, cache_dir: str) -> int:
+    """A killed campaign must exit resumable with a consistent journal."""
+    failures = 0
+    if rc != SHUTDOWN_EXIT_CODE:
+        print(f"FAIL: {label} exited {rc}, expected "
+              f"{SHUTDOWN_EXIT_CODE}\n{out}", file=sys.stderr)
+        failures += 1
+    statuses = _statuses(cache_dir)
+    if statuses.get(CAMPAIGN_IDS[0]) != "done" or any(
+        status == "running" for status in statuses.values()
+    ):
+        print(f"FAIL: journal inconsistent after {label}: {statuses}",
+              file=sys.stderr)
+        failures += 1
+    if not failures:
+        print(f"  exit {SHUTDOWN_EXIT_CODE}, journal consistent: "
+              f"{statuses}")
+    return failures
+
+
+def _check_resumed(label: str, cache_dir: str) -> int:
+    """After --resume, every journal entry must be done."""
+    statuses = _statuses(cache_dir)
+    if any(status != "done" for status in statuses.values()):
+        print(f"FAIL: {label} left unfinished entries: {statuses}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Modes.
+# ----------------------------------------------------------------------
+
+def _store_check(args) -> int:
+    policy = RetryPolicy(max_retries=3, backoff_s=0.05, timeout_s=600.0)
+    failures = 0
+
+    with tempfile.TemporaryDirectory(prefix="colt-chaos-") as tmp:
+        clean_dir = os.path.join(tmp, "clean")
+        chaos_dir = os.path.join(tmp, "chaos")
+
+        print(f"clean run (jobs={args.jobs})")
+        clean = ExperimentRunner(
+            jobs=args.jobs, store=ResultStore(clean_dir), policy=policy
+        )
+        clean_table = _run_pipeline(clean)
+
+        plan = FaultPlan.parse(args.faults)
+        print(f"chaos run (faults: {plan.render()})")
+        chaos = ExperimentRunner(
+            jobs=args.jobs,
+            store=ResultStore(chaos_dir, faults=plan),
+            policy=policy,
+            faults=plan,
+        )
+        chaos_table = _run_pipeline(chaos)
+        failures += _compare("chaos", clean, chaos, clean_table, chaos_table)
+        resilience = chaos.resilience_summary()
+        if resilience is None:
+            print("FAIL: chaos run reported no resilience activity "
+                  "(did the plan fire?)", file=sys.stderr)
+            failures += 1
+        else:
+            print("  resilience: " + ", ".join(
+                f"{v} {k}" for k, v in resilience.items() if v))
+
+        print("resume run (fault-free, over the corrupted chaos store)")
+        resume_store = ResultStore(chaos_dir)
+        resume = ExperimentRunner(
+            jobs=args.jobs, store=resume_store, policy=policy
+        )
+        resume_table = _run_pipeline(resume)
+        failures += _compare(
+            "resume", clean, resume, clean_table, resume_table
+        )
+        counts = resume_store.counters.as_dict()
+        if counts["quarantines"] != CORRUPTED_WRITES:
+            print(
+                f"FAIL: expected {CORRUPTED_WRITES} quarantined entries, "
+                f"got {counts['quarantines']:.0f}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"  quarantined {counts['quarantines']:.0f} corrupted "
+                  f"entries, {counts['hits']:.0f} warm hits")
+        quarantined = len(
+            list((resume_store.root / QUARANTINE_DIR).glob("*.pkl"))
+        )
+        if quarantined != CORRUPTED_WRITES:
+            print(
+                f"FAIL: quarantine dir holds {quarantined} entries, "
+                f"expected {CORRUPTED_WRITES}",
+                file=sys.stderr,
+            )
+            failures += 1
+        # Zero leakage: after the resume repaired the store, every live
+        # entry must decode -- a second warm pass sees only hits.
+        verify_store = ResultStore(chaos_dir)
+        for config in clean._cache:
+            if verify_store.load(config) is None:
+                print(
+                    "FAIL: repaired store still missing/corrupt for "
+                    f"{config.benchmark}/{config.design.value}",
+                    file=sys.stderr,
+                )
+                failures += 1
+        verify_counts = verify_store.counters.as_dict()
+        if verify_counts["quarantines"] or verify_counts["misses"]:
+            print(
+                "FAIL: repaired store not fully warm "
+                f"({verify_counts['misses']:.0f} misses, "
+                f"{verify_counts['quarantines']:.0f} quarantines)",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"  repaired store fully warm: {verify_counts['hits']:.0f} "
+                "hits, no residual corruption"
+            )
+
+    if failures:
+        print(f"chaos check FAILED ({failures} divergence(s))",
+              file=sys.stderr)
+        return 1
+    print("chaos check passed: all faulted runs bit-identical to clean")
+    return 0
+
+
 def _campaign_check(args) -> int:
     failures = 0
     with tempfile.TemporaryDirectory(prefix="colt-campaign-") as tmp:
@@ -179,13 +394,7 @@ def _campaign_check(args) -> int:
         dump_dir = os.path.join(tmp, "dumps")
 
         print(f"clean campaign {' '.join(CAMPAIGN_IDS)} (jobs={args.jobs})")
-        result = subprocess.run(
-            _campaign_cmd(clean_dir, args.jobs),
-            env=_campaign_env(), capture_output=True, text=True,
-        )
-        if result.returncode != 0:
-            print(f"FAIL: clean campaign exited {result.returncode}\n"
-                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+        if _checked_run("clean campaign", clean_dir, args.jobs) is None:
             return 1
         clean_tables = _tables(clean_dir)
         if sorted(clean_tables) != [f"{i}.txt" for i in sorted(CAMPAIGN_IDS)]:
@@ -198,80 +407,36 @@ def _campaign_check(args) -> int:
         # which the campaign is journaled *running*; SIGTERM there must
         # wind down gracefully with the resumable status.
         print("killed campaign (SIGTERM while entry 1 is running)")
-        proc = subprocess.Popen(
-            _campaign_cmd(kill_dir, args.jobs),
-            env=_campaign_env(
-                f"delay@campaign:1/{HOLD_SECONDS:g}"
-            ),
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        killed = _kill_after_first_table(
+            "killed campaign", kill_dir, args.jobs,
+            f"delay@campaign:1/{HOLD_SECONDS:g}",
         )
-        first_table = Path(kill_dir) / "campaign" / "tables" / \
-            f"{CAMPAIGN_IDS[0]}.txt"
-        deadline = time.monotonic() + 300.0
-        while not first_table.exists():
-            if proc.poll() is not None or time.monotonic() > deadline:
-                out = proc.communicate()[0]
-                print(f"FAIL: campaign ended (rc={proc.returncode}) "
-                      f"before it could be killed\n{out}", file=sys.stderr)
-                return 1
-            time.sleep(0.05)
-        proc.send_signal(signal.SIGTERM)
-        out = proc.communicate(timeout=120.0)[0]
-        if proc.returncode != SHUTDOWN_EXIT_CODE:
-            print(f"FAIL: killed campaign exited {proc.returncode}, "
-                  f"expected {SHUTDOWN_EXIT_CODE}\n{out}", file=sys.stderr)
-            failures += 1
-        statuses = _statuses(kill_dir)
-        if statuses.get(CAMPAIGN_IDS[0]) != "done" or any(
-            status == "running" for status in statuses.values()
-        ):
-            print(f"FAIL: journal inconsistent after kill: {statuses}",
-                  file=sys.stderr)
-            failures += 1
-        else:
-            print(f"  exit {SHUTDOWN_EXIT_CODE}, journal consistent: "
-                  f"{statuses}")
+        if killed is None:
+            return 1
+        failures += _check_killed("killed campaign", *killed, kill_dir)
 
         print("resumed campaign (--resume over the killed journal)")
-        result = subprocess.run(
-            _campaign_cmd(kill_dir, args.jobs, extra=("--resume",)),
-            env=_campaign_env(), capture_output=True, text=True,
+        resumed = _checked_run(
+            "resume", kill_dir, args.jobs, extra=("--resume",)
         )
-        if result.returncode != 0:
-            print(f"FAIL: resume exited {result.returncode}\n"
-                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+        if resumed is None:
             failures += 1
-        statuses = _statuses(kill_dir)
-        if any(status != "done" for status in statuses.values()):
-            print(f"FAIL: resume left unfinished entries: {statuses}",
-                  file=sys.stderr)
-            failures += 1
-        if _tables(kill_dir) != clean_tables:
-            print("FAIL: resumed tables differ from clean campaign",
-                  file=sys.stderr)
-            failures += 1
-        if not failures:
-            print("  journal all done, tables byte-identical to clean")
+        failures += _check_resumed("resume", kill_dir)
+        failures += _compare_tables("resume", kill_dir, clean_tables)
 
         print(f"stalled campaign (capture sleeps "
               f"{STALL_DELAY_SECONDS:g}s, watchdog at "
               f"{STALL_TIMEOUT_SECONDS:g}s)")
-        result = subprocess.run(
-            _campaign_cmd(
-                stall_dir, args.jobs, ids=(CAMPAIGN_IDS[0],),
-                extra=(
-                    "--stall-timeout", f"{STALL_TIMEOUT_SECONDS:g}",
-                    "--dump-dir", dump_dir,
-                ),
+        stalled = _checked_run(
+            "stalled campaign", stall_dir, args.jobs,
+            faults=f"delay@capture:0/{STALL_DELAY_SECONDS:g}",
+            ids=(CAMPAIGN_IDS[0],),
+            extra=(
+                "--stall-timeout", f"{STALL_TIMEOUT_SECONDS:g}",
+                "--dump-dir", dump_dir,
             ),
-            env=_campaign_env(
-                f"delay@capture:0/{STALL_DELAY_SECONDS:g}"
-            ),
-            capture_output=True, text=True,
         )
-        if result.returncode != 0:
-            print(f"FAIL: stalled campaign exited {result.returncode}\n"
-                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+        if stalled is None:
             failures += 1
         dumps = sorted(Path(dump_dir).glob("stall-*.txt"))
         if not dumps:
@@ -293,6 +458,107 @@ def _campaign_check(args) -> int:
         return 1
     print("campaign check passed: kill/resume/stall all converged "
           "on the clean tables")
+    return 0
+
+
+def _distributed_check(args) -> int:
+    failures = 0
+    workers_extra = ("--workers", str(DIST_WORKERS))
+    with tempfile.TemporaryDirectory(prefix="colt-dist-") as tmp:
+        clean_dir = os.path.join(tmp, "clean")
+        dist_dir = os.path.join(tmp, "dist-clean")
+        lost_dir = os.path.join(tmp, "lost")
+        desync_dir = os.path.join(tmp, "desync")
+        kill_dir = os.path.join(tmp, "killed")
+
+        print(f"clean single-host campaign {' '.join(CAMPAIGN_IDS)} "
+              f"(jobs={args.jobs})")
+        if _checked_run("clean campaign", clean_dir, args.jobs) is None:
+            return 1
+        clean_tables = _tables(clean_dir)
+        print(f"  {len(clean_tables)} baseline table dumps")
+
+        print(f"distributed campaign (--workers {DIST_WORKERS})")
+        if _checked_run(
+            "distributed campaign", dist_dir, args.jobs,
+            extra=workers_extra,
+        ) is None:
+            failures += 1
+        else:
+            failures += _compare_tables(
+                "distributed", dist_dir, clean_tables
+            )
+
+        print(f"worker-lost campaign (faults: {DIST_LOST_PLAN})")
+        lost = _checked_run(
+            "worker-lost campaign", lost_dir, args.jobs,
+            faults=DIST_LOST_PLAN, extra=workers_extra,
+        )
+        if lost is None:
+            failures += 1
+        else:
+            failures += _compare_tables(
+                "worker-lost", lost_dir, clean_tables
+            )
+            if "lost" not in lost.stderr:
+                print("FAIL: worker-lost run never reported a lost "
+                      "worker", file=sys.stderr)
+                failures += 1
+
+        print(f"shard-desync campaign (faults: {DIST_DESYNC_PLAN})")
+        desynced = _checked_run(
+            "shard-desync campaign", desync_dir, args.jobs,
+            faults=DIST_DESYNC_PLAN, extra=workers_extra,
+        )
+        if desynced is None:
+            failures += 1
+        else:
+            failures += _compare_tables(
+                "shard-desync", desync_dir, clean_tables
+            )
+            quarantine = Path(desync_dir) / "dist" / DIST_QUARANTINE_DIR
+            quarantined = (
+                sorted(p.name for p in quarantine.iterdir())
+                if quarantine.is_dir() else []
+            )
+            if not quarantined:
+                print("FAIL: desynced shard was not quarantined under "
+                      f"{quarantine}", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"  quarantined desynced shard(s): {quarantined}")
+
+        print(f"killed distributed campaign (SIGTERM while entry 1 "
+              f"is running, --workers {DIST_WORKERS})")
+        killed = _kill_after_first_table(
+            "killed distributed campaign", kill_dir, args.jobs,
+            f"delay@campaign:1/{HOLD_SECONDS:g}", extra=workers_extra,
+        )
+        if killed is None:
+            return 1
+        failures += _check_killed(
+            "killed distributed campaign", *killed, kill_dir
+        )
+
+        print("resumed distributed campaign (--resume --workers "
+              f"{DIST_WORKERS})")
+        resumed = _checked_run(
+            "distributed resume", kill_dir, args.jobs,
+            extra=workers_extra + ("--resume",),
+        )
+        if resumed is None:
+            failures += 1
+        failures += _check_resumed("distributed resume", kill_dir)
+        failures += _compare_tables(
+            "distributed resume", kill_dir, clean_tables
+        )
+
+    if failures:
+        print(f"distributed check FAILED ({failures} divergence(s))",
+              file=sys.stderr)
+        return 1
+    print("distributed check passed: clean/lost/desync/kill+resume all "
+          "byte-identical to the single-host campaign")
     return 0
 
 
@@ -329,7 +595,9 @@ def _telemetry_check(args) -> int:
         # Kill phase: serve telemetry while entry 1 is held open, probe
         # all three endpoints live, then SIGTERM. The server must come
         # down with the process (exit 75, port released) and the killed
-        # run must still leave a non-ok history record.
+        # run must still leave a non-ok history record. (This phase
+        # sniffs the subprocess's stdout for the bound port, so it
+        # drives its own Popen instead of _kill_after_first_table.)
         print("telemetry campaign (SIGTERM while serving --telemetry-port 0)")
         proc = subprocess.Popen(
             _campaign_cmd(
@@ -439,33 +707,24 @@ def _telemetry_check(args) -> int:
                       f"history recorded status={last['status']!r}")
 
         print("resumed campaign (--resume, telemetry served again)")
-        result = subprocess.run(
-            _campaign_cmd(
-                cache_dir, args.jobs,
-                extra=("--resume", "--telemetry-port", "0"),
-            ),
-            env=_campaign_env(), capture_output=True, text=True,
+        resumed = _checked_run(
+            "resume", cache_dir, args.jobs,
+            extra=("--resume", "--telemetry-port", "0"),
         )
-        if result.returncode != 0:
-            print(f"FAIL: resume exited {result.returncode}\n"
-                  f"{result.stdout}{result.stderr}", file=sys.stderr)
+        if resumed is None:
             failures += 1
-        statuses = _statuses(cache_dir)
-        if any(status != "done" for status in statuses.values()):
-            print(f"FAIL: resume left unfinished entries: {statuses}",
-                  file=sys.stderr)
-            failures += 1
-        resumed = _history_records(cache_dir)
-        if len(resumed) != len(records) + 1 or \
-                resumed[-1].get("status") != "ok":
+        failures += _check_resumed("resume", cache_dir)
+        history = _history_records(cache_dir)
+        if len(history) != len(records) + 1 or \
+                history[-1].get("status") != "ok":
             print(f"FAIL: resume did not append an ok record "
-                  f"({len(records)} -> {len(resumed)} records, newest "
-                  f"{resumed[-1].get('status')!r})"
-                  if resumed else "FAIL: resume left no history",
+                  f"({len(records)} -> {len(history)} records, newest "
+                  f"{history[-1].get('status')!r})"
+                  if history else "FAIL: resume left no history",
                   file=sys.stderr)
             failures += 1
         elif not failures:
-            print(f"  journal all done; history now {len(resumed)} "
+            print(f"  journal all done; history now {len(history)} "
                   "record(s), newest status='ok'")
 
     if failures:
@@ -477,6 +736,31 @@ def _telemetry_check(args) -> int:
     return 0
 
 
+#: Mode registry: name -> (check function, one-line description).
+MODES = {
+    "store": (
+        _store_check,
+        "in-process fault plan vs clean run, plus corrupted-store "
+        "resume (default)",
+    ),
+    "campaign": (
+        _campaign_check,
+        "campaign journal: clean, SIGTERM kill, --resume, "
+        "stall-watchdog dump",
+    ),
+    "telemetry": (
+        _telemetry_check,
+        "telemetry plane: live probes, clean SIGTERM shutdown, "
+        "history records",
+    ),
+    "distributed": (
+        _distributed_check,
+        f"coordinator/worker layer (--workers {DIST_WORKERS}): clean, "
+        "worker-lost, shard-desync quarantine, kill + --resume",
+    ),
+}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Verify fault-injected runs recover bit-identical "
@@ -484,124 +768,36 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=2, metavar="N",
-        help="worker processes for all three runs (default: 2)",
+        help="worker processes for every run (default: 2)",
     )
     parser.add_argument(
         "--faults", default=DEFAULT_PLAN, metavar="PLAN",
-        help=f"fault plan for the chaos run (default: {DEFAULT_PLAN!r})",
+        help=f"fault plan for the store-mode chaos run "
+             f"(default: {DEFAULT_PLAN!r})",
     )
     parser.add_argument(
-        "--campaign", action="store_true",
-        help="check the campaign journal instead: clean run, SIGTERM "
-             "kill, --resume to byte-identical tables, stall-watchdog "
-             "dump",
+        "--list-modes", action="store_true",
+        help="list the check modes and exit",
     )
-    parser.add_argument(
-        "--telemetry", action="store_true",
-        help="check the telemetry plane instead: live endpoint probes, "
-             "clean server shutdown on SIGTERM, history records for "
-             "killed and resumed runs",
-    )
+    for mode, (_check, description) in MODES.items():
+        if mode == "store":
+            continue  # the default mode needs no flag
+        parser.add_argument(
+            f"--{mode}", action="store_true", help=f"check: {description}",
+        )
     args = parser.parse_args(argv)
-    if args.campaign:
-        return _campaign_check(args)
-    if args.telemetry:
-        return _telemetry_check(args)
-
-    policy = RetryPolicy(max_retries=3, backoff_s=0.05, timeout_s=600.0)
-    failures = 0
-
-    with tempfile.TemporaryDirectory(prefix="colt-chaos-") as tmp:
-        clean_dir = os.path.join(tmp, "clean")
-        chaos_dir = os.path.join(tmp, "chaos")
-
-        print(f"clean run (jobs={args.jobs})")
-        clean = ExperimentRunner(
-            jobs=args.jobs, store=ResultStore(clean_dir), policy=policy
-        )
-        clean_table = _run_pipeline(clean)
-
-        plan = FaultPlan.parse(args.faults)
-        print(f"chaos run (faults: {plan.render()})")
-        chaos = ExperimentRunner(
-            jobs=args.jobs,
-            store=ResultStore(chaos_dir, faults=plan),
-            policy=policy,
-            faults=plan,
-        )
-        chaos_table = _run_pipeline(chaos)
-        failures += _compare("chaos", clean, chaos, clean_table, chaos_table)
-        resilience = chaos.resilience_summary()
-        if resilience is None:
-            print("FAIL: chaos run reported no resilience activity "
-                  "(did the plan fire?)", file=sys.stderr)
-            failures += 1
-        else:
-            print("  resilience: " + ", ".join(
-                f"{v} {k}" for k, v in resilience.items() if v))
-
-        print("resume run (fault-free, over the corrupted chaos store)")
-        resume_store = ResultStore(chaos_dir)
-        resume = ExperimentRunner(
-            jobs=args.jobs, store=resume_store, policy=policy
-        )
-        resume_table = _run_pipeline(resume)
-        failures += _compare(
-            "resume", clean, resume, clean_table, resume_table
-        )
-        counts = resume_store.counters.as_dict()
-        if counts["quarantines"] != CORRUPTED_WRITES:
-            print(
-                f"FAIL: expected {CORRUPTED_WRITES} quarantined entries, "
-                f"got {counts['quarantines']:.0f}",
-                file=sys.stderr,
-            )
-            failures += 1
-        else:
-            print(f"  quarantined {counts['quarantines']:.0f} corrupted "
-                  f"entries, {counts['hits']:.0f} warm hits")
-        quarantined = len(
-            list((resume_store.root / QUARANTINE_DIR).glob("*.pkl"))
-        )
-        if quarantined != CORRUPTED_WRITES:
-            print(
-                f"FAIL: quarantine dir holds {quarantined} entries, "
-                f"expected {CORRUPTED_WRITES}",
-                file=sys.stderr,
-            )
-            failures += 1
-        # Zero leakage: after the resume repaired the store, every live
-        # entry must decode -- a second warm pass sees only hits.
-        verify_store = ResultStore(chaos_dir)
-        for config in clean._cache:
-            if verify_store.load(config) is None:
-                print(
-                    "FAIL: repaired store still missing/corrupt for "
-                    f"{config.benchmark}/{config.design.value}",
-                    file=sys.stderr,
-                )
-                failures += 1
-        verify_counts = verify_store.counters.as_dict()
-        if verify_counts["quarantines"] or verify_counts["misses"]:
-            print(
-                "FAIL: repaired store not fully warm "
-                f"({verify_counts['misses']:.0f} misses, "
-                f"{verify_counts['quarantines']:.0f} quarantines)",
-                file=sys.stderr,
-            )
-            failures += 1
-        else:
-            print(
-                f"  repaired store fully warm: {verify_counts['hits']:.0f} "
-                "hits, no residual corruption"
-            )
-
-    if failures:
-        print(f"chaos check FAILED ({failures} divergence(s))",
-              file=sys.stderr)
-        return 1
-    print("chaos check passed: all faulted runs bit-identical to clean")
-    return 0
+    if args.list_modes:
+        for mode, (_check, description) in MODES.items():
+            print(f"{mode:12s} {description}")
+        return 0
+    selected = [
+        mode for mode in MODES
+        if mode != "store" and getattr(args, mode)
+    ]
+    if len(selected) > 1:
+        parser.error(f"pick one mode, not {selected}")
+    check, _description = MODES[selected[0] if selected else "store"]
+    return check(args)
 
 
 if __name__ == "__main__":
